@@ -1,0 +1,43 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test test-short bench results results-ext cover fmt vet examples
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+# Skip the paper-scale regression runs.
+test-short:
+	go test -short ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+# Regenerate the canonical paper reproduction (results_full.txt).
+results:
+	go run ./cmd/specbench -exp all > results_full.txt
+
+# Regenerate the extension studies (results_ext.txt).
+results-ext:
+	go run ./cmd/specbench -exp ext -chart=false > results_ext.txt
+
+cover:
+	go test -cover ./...
+
+fmt:
+	gofmt -w .
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/nbody
+	go run ./examples/heatspec
+	go run ./examples/jacobi
+	go run ./examples/pagerank
+	go run ./examples/realtime

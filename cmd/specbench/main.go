@@ -1,0 +1,118 @@
+// Command specbench regenerates every table and figure of the paper's
+// evaluation. By default it runs the full paper-scale configuration
+// (N=1000 particles, 16 simulated workstations); -quick switches to the
+// scaled-down test configuration.
+//
+// Usage:
+//
+//	specbench [-exp all|fig2|fig4|fig5|fig6|fig8|table2|table3|fig9] [-quick]
+//	          [-n particles] [-iters n] [-procs p] [-theta θ]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"specomp/internal/experiments"
+)
+
+func main() {
+	var (
+		exp = flag.String("exp", "all",
+			"experiment id: all, ext, or any of fig2, fig4, fig5, fig6, fig8, table2, table3, fig9, ext-fw, ext-bw, ext-async, ext-load, ext-topo")
+		quick  = flag.Bool("quick", false, "use the scaled-down configuration")
+		n      = flag.Int("n", 0, "override particle count")
+		iters  = flag.Int("iters", 0, "override iteration count")
+		procs  = flag.Int("procs", 0, "override machine-set size")
+		theta  = flag.Float64("theta", 0, "override speculation threshold θ")
+		chart  = flag.Bool("chart", true, "render figure series as ASCII charts")
+		csvDir = flag.String("csv", "", "also write each experiment's series to <dir>/<id>.csv")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultNBody()
+	if *quick {
+		cfg = experiments.QuickNBody()
+	}
+	if *n > 0 {
+		cfg.N = *n
+	}
+	if *iters > 0 {
+		cfg.Iters = *iters
+	}
+	if *procs > 0 {
+		cfg.MaxProcs = *procs
+	}
+	if *theta > 0 {
+		cfg.Theta = *theta
+	}
+
+	ids := strings.Split(*exp, ",")
+	switch *exp {
+	case "all":
+		ids = []string{"fig2", "fig4", "fig5", "fig6", "fig8", "table2", "table3", "fig9"}
+	case "ext":
+		ids = []string{"ext-fw", "ext-bw", "ext-async", "ext-load", "ext-topo", "ext-apps"}
+	}
+	for _, id := range ids {
+		rep, err := run(strings.TrimSpace(id), cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "specbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.String())
+		if *chart && len(rep.Series) > 0 {
+			fmt.Println(rep.Chart(72, 18))
+		}
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "specbench: %v\n", err)
+				os.Exit(1)
+			}
+			path := fmt.Sprintf("%s/%s.csv", *csvDir, rep.ID)
+			if err := os.WriteFile(path, []byte(rep.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "specbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func run(id string, cfg experiments.NBodyConfig) (experiments.Report, error) {
+	switch id {
+	case "fig2":
+		return experiments.Figure2()
+	case "fig4":
+		return experiments.Figure4()
+	case "fig5":
+		return experiments.Figure5(), nil
+	case "fig6":
+		return experiments.Figure6(), nil
+	case "fig8":
+		return experiments.Figure8(cfg)
+	case "table2":
+		rep, _, err := experiments.Table2(cfg)
+		return rep, err
+	case "table3":
+		rep, _, err := experiments.Table3(cfg)
+		return rep, err
+	case "fig9":
+		return experiments.Figure9(cfg)
+	case "ext-fw":
+		return experiments.ExtForwardWindows(cfg)
+	case "ext-bw":
+		return experiments.ExtPredictors(cfg)
+	case "ext-async":
+		return experiments.ExtBaselines(cfg)
+	case "ext-load":
+		return experiments.ExtLoad(cfg)
+	case "ext-topo":
+		return experiments.ExtTopology(cfg)
+	case "ext-apps":
+		return experiments.ExtApps(cfg)
+	default:
+		return experiments.Report{}, fmt.Errorf("unknown experiment %q", id)
+	}
+}

@@ -1,0 +1,75 @@
+// Command specmodel evaluates the §4 empirical performance model for a
+// configurable system and prints speedup tables with and without
+// speculation, including the forward-window and stochastic-communication
+// extensions.
+//
+// Usage:
+//
+//	specmodel [-n 1000] [-procs 16] [-ratio 10] [-k 0.02]
+//	          [-fspec 0.00017] [-fcheck 0.00086] [-commscale 1.0]
+//	          [-fw 3] [-jitter 0.3]
+//
+// fspec and fcheck are fractions of f_comp per variable; commscale scales
+// the baseline t_comm(p) (1.0 = the paper's t_comm(16) = t_comp(16)).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"specomp/internal/perfmodel"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 1000, "number of variables")
+		procs     = flag.Int("procs", 16, "number of processors")
+		ratio     = flag.Float64("ratio", 10, "capacity ratio M_1/M_p")
+		k         = flag.Float64("k", 0.02, "recomputation fraction")
+		fspec     = flag.Float64("fspec", 12.0/70000, "f_spec as a fraction of f_comp")
+		fcheck    = flag.Float64("fcheck", 24.0/70000, "f_check as a fraction of f_comp")
+		commscale = flag.Float64("commscale", 1.0, "t_comm scale factor")
+		fw        = flag.Int("fw", 3, "max forward window for the FW table")
+		jitter    = flag.Float64("jitter", 0.3, "communication jitter fraction for the stochastic estimate")
+	)
+	flag.Parse()
+
+	caps := perfmodel.LinearCaps(*procs, 10, *ratio)
+	base := perfmodel.LinearTComm(*n, 1, caps, *procs)
+	m := perfmodel.Params{
+		N: *n, FComp: 1, FSpec: *fspec, FCheck: *fcheck,
+		Caps: caps,
+		TComm: func(p int) float64 {
+			return *commscale * base(p)
+		},
+		K: *k,
+	}
+	if err := m.Validate(); err != nil {
+		fmt.Println("invalid parameters:", err)
+		return
+	}
+
+	fmt.Printf("§4 model: N=%d, p<=%d, M1/Mp=%.1f, k=%.1f%%, f_spec=%g·f_comp, f_check=%g·f_comp\n\n",
+		*n, *procs, *ratio, *k*100, *fspec, *fcheck)
+	fmt.Printf("%-4s %10s %10s %10s %10s %12s\n", "p", "no-spec", "spec", "max", "gain%", "masked-frac")
+	for p := 1; p <= *procs; p++ {
+		sn := m.SpeedupNoSpec(p)
+		ss := m.SpeedupSpec(p)
+		fmt.Printf("%-4d %10.3f %10.3f %10.3f %10.1f %12.3f\n",
+			p, sn, ss, m.SpeedupMax(p), 100*(ss/sn-1), m.MaskedFraction(p, 1))
+	}
+
+	fmt.Printf("\nforward-window extension at p=%d:\n", *procs)
+	fmt.Printf("%-4s %12s %12s\n", "FW", "speedup", "masked-frac")
+	for w := 1; w <= *fw; w++ {
+		fmt.Printf("%-4d %12.3f %12.3f\n",
+			w, m.SpeedupSpecFW(*procs, w), m.MaskedFraction(*procs, w))
+	}
+
+	if *jitter > 0 {
+		det := m.SpecTime(*procs)
+		st := m.SpecTimeStochastic(*procs, *jitter, 5000, 1)
+		fmt.Printf("\nstochastic communication (±%.0f%% jitter): per-iteration time %.4f vs deterministic %.4f (+%.1f%%)\n",
+			*jitter*100, st, det, 100*(st/det-1))
+	}
+}

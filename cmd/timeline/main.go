@@ -1,0 +1,39 @@
+// Command timeline renders the paper's Figure 2 and Figure 4 execution
+// timelines: two processors exchanging messages over a slow channel, with
+// and without speculative computation, and under a transient delay with
+// forward windows 0, 1 and 2.
+//
+// Usage:
+//
+//	timeline [-fig 2|4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"specomp/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 2, "figure to render (2 or 4)")
+	flag.Parse()
+
+	var (
+		rep experiments.Report
+		err error
+	)
+	switch *fig {
+	case 2:
+		rep, err = experiments.Figure2()
+	case 4:
+		rep, err = experiments.Figure4()
+	default:
+		log.Fatalf("unknown figure %d (want 2 or 4)", *fig)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep.String())
+}

@@ -1,0 +1,3 @@
+module specomp
+
+go 1.22

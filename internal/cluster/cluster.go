@@ -1,0 +1,322 @@
+// Package cluster simulates a heterogeneous workstation network with
+// message passing — the substrate the paper ran on (SUN/Sparc workstations
+// under PVM on shared Ethernet).
+//
+// Each simulated processor runs a user-supplied body function in its own
+// goroutine, scheduled deterministically by a simtime.Kernel. Computation is
+// charged to the virtual clock through Compute (operations divided by the
+// machine's capacity M_i), and messages travel through a pluggable
+// netmodel.Model. Per-processor phase clocks record where virtual time goes
+// (compute / blocked-on-receive / speculate / check / correct), which is
+// exactly the instrumentation behind the paper's Table 2.
+package cluster
+
+import (
+	"fmt"
+
+	"specomp/internal/netmodel"
+	"specomp/internal/simtime"
+)
+
+// Phase labels where a processor's virtual time is spent.
+type Phase int
+
+// Phases used by the engine's accounting, mirroring Table 2's columns.
+const (
+	PhaseCompute Phase = iota
+	PhaseComm
+	PhaseSpec
+	PhaseCheck
+	PhaseCorrect
+	PhaseOther
+	numPhases
+)
+
+// String returns the phase name.
+func (ph Phase) String() string {
+	switch ph {
+	case PhaseCompute:
+		return "compute"
+	case PhaseComm:
+		return "comm"
+	case PhaseSpec:
+		return "spec"
+	case PhaseCheck:
+		return "check"
+	case PhaseCorrect:
+		return "correct"
+	default:
+		return "other"
+	}
+}
+
+// Machine describes one simulated workstation.
+type Machine struct {
+	Name string
+	Ops  float64 // capacity M_i: operations per second
+}
+
+// Config parameterizes a Cluster.
+type Config struct {
+	Machines []Machine
+	Net      netmodel.Model
+	Seed     int64
+	Horizon  float64 // optional virtual-time limit
+	// MsgHeaderBytes is added to every message's payload size when computing
+	// network delays (protocol framing). Defaults to 64 if zero.
+	MsgHeaderBytes int
+	// SendOps is the CPU cost, in operations, charged to the sender per
+	// message (packing and protocol work).
+	SendOps float64
+	// OnSpan, if non-nil, receives every interval of virtual time a
+	// processor spends in a phase (used to render execution timelines).
+	OnSpan func(proc int, ph Phase, start, end float64)
+	// Load models background CPU competition on the timeshared machines;
+	// nil means dedicated machines (factor 1).
+	Load LoadModel
+}
+
+// Message is a tagged payload exchanged between processors.
+type Message struct {
+	Src, Dst    int
+	Tag         int
+	Iter        int // iteration stamp, used by the synchronous engine
+	Data        []float64
+	SentAt      float64
+	DeliveredAt float64
+}
+
+// Any matches any source or tag in Recv/TryRecv.
+const Any = -1
+
+// Cluster is a set of simulated machines wired to a network model.
+type Cluster struct {
+	kernel *simtime.Kernel
+	cfg    Config
+	procs  []*Proc
+}
+
+// New creates a cluster from cfg. cfg.Net must be non-nil.
+func New(cfg Config) *Cluster {
+	if cfg.Net == nil {
+		panic("cluster: Config.Net is nil")
+	}
+	if len(cfg.Machines) == 0 {
+		panic("cluster: no machines")
+	}
+	if cfg.MsgHeaderBytes == 0 {
+		cfg.MsgHeaderBytes = 64
+	}
+	return &Cluster{
+		kernel: simtime.NewKernel(simtime.Config{Seed: cfg.Seed, Horizon: cfg.Horizon}),
+		cfg:    cfg,
+	}
+}
+
+// P returns the number of machines.
+func (c *Cluster) P() int { return len(c.cfg.Machines) }
+
+// Proc returns processor i (valid after Start).
+func (c *Cluster) Proc(i int) *Proc { return c.procs[i] }
+
+// Now returns the cluster's virtual time.
+func (c *Cluster) Now() float64 { return c.kernel.Now() }
+
+// Start spawns one processor per machine, each running body.
+func (c *Cluster) Start(body func(*Proc)) {
+	if c.procs != nil {
+		panic("cluster: Start called twice")
+	}
+	for i, m := range c.cfg.Machines {
+		p := &Proc{c: c, id: i, mach: m}
+		c.procs = append(c.procs, p)
+	}
+	for _, p := range c.procs {
+		p := p
+		name := fmt.Sprintf("proc%d(%s)", p.id, p.mach.Name)
+		p.sp = c.kernel.Spawn(name, func(*simtime.Proc) { body(p) })
+	}
+}
+
+// Run drives the simulation to completion.
+func (c *Cluster) Run() error { return c.kernel.Run() }
+
+// filter describes what a parked receiver is waiting for.
+type filter struct {
+	src, tag int
+}
+
+func (f filter) matches(m Message) bool {
+	return (f.src == Any || m.Src == f.src) && (f.tag == Any || m.Tag == f.tag)
+}
+
+// Proc is one simulated processor.
+type Proc struct {
+	c    *Cluster
+	sp   *simtime.Proc
+	id   int
+	mach Machine
+
+	mbox []Message
+	want *filter
+
+	clocks    [numPhases]float64
+	msgsSent  int
+	msgsRecvd int
+	bytesSent int
+	maxQueue  int
+}
+
+// ID returns the processor index (0-based).
+func (p *Proc) ID() int { return p.id }
+
+// P returns the number of processors in the cluster.
+func (p *Proc) P() int { return p.c.P() }
+
+// Ops returns the processor's capacity M_i in operations per second.
+func (p *Proc) Ops() float64 { return p.mach.Ops }
+
+// Machine returns the processor's machine description.
+func (p *Proc) Machine() Machine { return p.mach }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() float64 { return p.sp.Now() }
+
+// PhaseTime returns the accumulated virtual time spent in ph.
+func (p *Proc) PhaseTime(ph Phase) float64 { return p.clocks[ph] }
+
+// Stats returns message counters: messages sent, messages received, bytes sent.
+func (p *Proc) Stats() (sent, recvd, bytes int) {
+	return p.msgsSent, p.msgsRecvd, p.bytesSent
+}
+
+// MaxQueueLen returns the high-water mark of the mailbox length.
+func (p *Proc) MaxQueueLen() int { return p.maxQueue }
+
+// Compute charges ops operations of work to the virtual clock under phase ph.
+func (p *Proc) Compute(ops float64, ph Phase) {
+	if ops < 0 {
+		panic("cluster: negative ops")
+	}
+	if ops == 0 {
+		return
+	}
+	d := ops / p.mach.Ops
+	if lm := p.c.cfg.Load; lm != nil {
+		d *= lm.Factor(p.id, p.Now(), p.c.kernel.Rand())
+	}
+	p.clocks[ph] += d
+	start := p.Now()
+	p.sp.Sleep(d)
+	p.span(ph, start)
+}
+
+// span reports a completed phase interval to the tracer, if any.
+func (p *Proc) span(ph Phase, start float64) {
+	if f := p.c.cfg.OnSpan; f != nil && p.Now() > start {
+		f(p.id, ph, start, p.Now())
+	}
+}
+
+// Idle advances the processor's clock by d seconds without attributing work.
+func (p *Proc) Idle(d float64) {
+	p.clocks[PhaseOther] += d
+	start := p.Now()
+	p.sp.Sleep(d)
+	p.span(PhaseOther, start)
+}
+
+// Send transmits data to processor dst with the given tag and iteration
+// stamp. The sender is charged Config.SendOps of CPU (attributed to the comm
+// phase); delivery latency comes from the network model.
+func (p *Proc) Send(dst, tag, iter int, data []float64) {
+	if dst < 0 || dst >= p.c.P() {
+		panic(fmt.Sprintf("cluster: Send to invalid processor %d", dst))
+	}
+	if p.c.cfg.SendOps > 0 {
+		d := p.c.cfg.SendOps / p.mach.Ops
+		p.clocks[PhaseComm] += d
+		start := p.Now()
+		p.sp.Sleep(d)
+		p.span(PhaseComm, start)
+	}
+	payload := make([]float64, len(data))
+	copy(payload, data)
+	bytes := 8*len(payload) + p.c.cfg.MsgHeaderBytes
+	msg := Message{
+		Src: p.id, Dst: dst, Tag: tag, Iter: iter,
+		Data: payload, SentAt: p.Now(),
+	}
+	p.msgsSent++
+	p.bytesSent += bytes
+	delay := p.c.cfg.Net.Delay(netmodel.Msg{
+		Src: p.id, Dst: dst, Bytes: bytes, Procs: p.c.P(), Now: p.Now(),
+	}, p.c.kernel.Rand())
+	if delay < 0 {
+		panic("cluster: negative network delay")
+	}
+	dstProc := p.c.procs[dst]
+	p.c.kernel.Schedule(delay, func() {
+		msg.DeliveredAt = p.c.kernel.Now()
+		dstProc.deliver(msg)
+	})
+}
+
+// deliver runs in kernel context: enqueue and wake a matching waiter.
+func (p *Proc) deliver(m Message) {
+	p.mbox = append(p.mbox, m)
+	if len(p.mbox) > p.maxQueue {
+		p.maxQueue = len(p.mbox)
+	}
+	if p.want != nil && p.want.matches(m) {
+		p.want = nil
+		p.c.kernel.Unblock(p.sp)
+	}
+}
+
+// TryRecv returns a queued message matching (src, tag) without blocking.
+// Use Any for either field to match anything.
+func (p *Proc) TryRecv(src, tag int) (Message, bool) {
+	f := filter{src: src, tag: tag}
+	for i, m := range p.mbox {
+		if f.matches(m) {
+			p.mbox = append(p.mbox[:i], p.mbox[i+1:]...)
+			p.msgsRecvd++
+			return m, true
+		}
+	}
+	return Message{}, false
+}
+
+// Recv blocks until a message matching (src, tag) arrives and returns it.
+// Time spent blocked is attributed to the comm phase.
+func (p *Proc) Recv(src, tag int) Message {
+	for {
+		if m, ok := p.TryRecv(src, tag); ok {
+			return m
+		}
+		f := filter{src: src, tag: tag}
+		p.want = &f
+		before := p.Now()
+		p.sp.Park()
+		p.clocks[PhaseComm] += p.Now() - before
+		p.span(PhaseComm, before)
+	}
+}
+
+// Barrier performs a naive all-to-all barrier using tagged messages. It is
+// provided for the classical (non-speculative) baseline algorithms.
+func (p *Proc) Barrier(tag int) {
+	for k := 0; k < p.P(); k++ {
+		if k == p.id {
+			continue
+		}
+		p.Send(k, tag, 0, nil)
+	}
+	for k := 0; k < p.P(); k++ {
+		if k == p.id {
+			continue
+		}
+		p.Recv(k, tag)
+	}
+}

@@ -1,0 +1,319 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"specomp/internal/netmodel"
+	"specomp/internal/simtime"
+)
+
+func twoProcCluster(net netmodel.Model) *Cluster {
+	return New(Config{
+		Machines: []Machine{{Name: "fast", Ops: 100}, {Name: "slow", Ops: 10}},
+		Net:      net,
+	})
+}
+
+func TestComputeChargesTimeByCapacity(t *testing.T) {
+	c := twoProcCluster(netmodel.Fixed{D: 0})
+	var fastEnd, slowEnd float64
+	c.Start(func(p *Proc) {
+		p.Compute(1000, PhaseCompute)
+		if p.ID() == 0 {
+			fastEnd = p.Now()
+		} else {
+			slowEnd = p.Now()
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fastEnd != 10 {
+		t.Errorf("fast proc finished at %g, want 10", fastEnd)
+	}
+	if slowEnd != 100 {
+		t.Errorf("slow proc finished at %g, want 100", slowEnd)
+	}
+	if got := c.Proc(0).PhaseTime(PhaseCompute); got != 10 {
+		t.Errorf("fast compute clock = %g, want 10", got)
+	}
+}
+
+func TestSendRecvLatency(t *testing.T) {
+	c := twoProcCluster(netmodel.Fixed{D: 2.5})
+	var recvAt float64
+	var got Message
+	c.Start(func(p *Proc) {
+		if p.ID() == 0 {
+			p.Send(1, 7, 3, []float64{1, 2, 3})
+		} else {
+			got = p.Recv(0, 7)
+			recvAt = p.Now()
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if recvAt != 2.5 {
+		t.Errorf("received at %g, want 2.5", recvAt)
+	}
+	if got.Tag != 7 || got.Iter != 3 || len(got.Data) != 3 || got.Data[2] != 3 {
+		t.Errorf("message = %+v", got)
+	}
+	if got.SentAt != 0 || got.DeliveredAt != 2.5 {
+		t.Errorf("timestamps = %g, %g", got.SentAt, got.DeliveredAt)
+	}
+	// Blocked time shows up on the comm clock.
+	if commClock := c.Proc(1).PhaseTime(PhaseComm); commClock != 2.5 {
+		t.Errorf("receiver comm clock = %g, want 2.5", commClock)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	c := twoProcCluster(netmodel.Fixed{D: 1})
+	var got Message
+	c.Start(func(p *Proc) {
+		if p.ID() == 0 {
+			data := []float64{42}
+			p.Send(1, 0, 0, data)
+			data[0] = -1 // mutation after send must not affect the message
+		} else {
+			got = p.Recv(0, 0)
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Data[0] != 42 {
+		t.Errorf("payload mutated in flight: %v", got.Data)
+	}
+}
+
+func TestTryRecvNonBlocking(t *testing.T) {
+	c := twoProcCluster(netmodel.Fixed{D: 5})
+	var early, late bool
+	c.Start(func(p *Proc) {
+		if p.ID() == 0 {
+			p.Send(1, 1, 0, nil)
+		} else {
+			_, early = p.TryRecv(0, 1) // message still in flight
+			p.Idle(10)
+			_, late = p.TryRecv(0, 1) // delivered by now
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if early {
+		t.Error("TryRecv returned a message before delivery")
+	}
+	if !late {
+		t.Error("TryRecv missed a delivered message")
+	}
+}
+
+func TestRecvFiltersBySourceAndTag(t *testing.T) {
+	c := New(Config{
+		Machines: UniformMachines(3, 100),
+		Net:      netmodel.Fixed{D: 1},
+	})
+	var fromTwo Message
+	c.Start(func(p *Proc) {
+		switch p.ID() {
+		case 0:
+			p.Send(2, 9, 0, []float64{0})
+		case 1:
+			p.Send(2, 9, 0, []float64{1})
+		case 2:
+			fromTwo = p.Recv(1, 9) // specifically from proc 1
+			p.Recv(0, 9)           // then drain the other
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fromTwo.Src != 1 || fromTwo.Data[0] != 1 {
+		t.Errorf("filtered recv returned %+v", fromTwo)
+	}
+}
+
+func TestRecvAnyMatchesWildcard(t *testing.T) {
+	c := twoProcCluster(netmodel.Fixed{D: 1})
+	var got Message
+	c.Start(func(p *Proc) {
+		if p.ID() == 0 {
+			p.Send(1, 33, 0, nil)
+		} else {
+			got = p.Recv(Any, Any)
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Tag != 33 {
+		t.Errorf("wildcard recv got tag %d", got.Tag)
+	}
+}
+
+func TestDeadlockWhenNoSender(t *testing.T) {
+	c := twoProcCluster(netmodel.Fixed{D: 1})
+	c.Start(func(p *Proc) {
+		if p.ID() == 1 {
+			p.Recv(0, 0) // never sent
+		}
+	})
+	err := c.Run()
+	if !errors.Is(err, simtime.ErrDeadlock) {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	c := New(Config{
+		Machines: []Machine{{Name: "a", Ops: 100}, {Name: "b", Ops: 100}, {Name: "c", Ops: 100}},
+		Net:      netmodel.Fixed{D: 0.5},
+	})
+	after := make([]float64, 3)
+	c.Start(func(p *Proc) {
+		p.Idle(float64(p.ID())) // stagger arrivals: 0s, 1s, 2s
+		p.Barrier(99)
+		after[p.ID()] = p.Now()
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Nobody can leave the barrier before the last arrival at t=2, and the
+	// earlier arrivers must additionally wait for the last proc's message
+	// (sent at t=2, 0.5s latency).
+	for i, ts := range after {
+		if ts < 2 {
+			t.Errorf("proc %d left barrier at %g, want >= 2", i, ts)
+		}
+		if i != 2 && ts < 2.5 {
+			t.Errorf("early-arriving proc %d left barrier at %g, want >= 2.5", i, ts)
+		}
+	}
+}
+
+func TestSendOpsChargedToSender(t *testing.T) {
+	c := New(Config{
+		Machines: []Machine{{Name: "a", Ops: 100}, {Name: "b", Ops: 100}},
+		Net:      netmodel.Fixed{D: 0},
+		SendOps:  200, // 2 seconds at 100 ops/s
+	})
+	var sendDone float64
+	c.Start(func(p *Proc) {
+		if p.ID() == 0 {
+			p.Send(1, 0, 0, nil)
+			sendDone = p.Now()
+		} else {
+			p.Recv(0, 0)
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sendDone != 2 {
+		t.Errorf("send completed at %g, want 2", sendDone)
+	}
+	if got := c.Proc(0).PhaseTime(PhaseComm); got != 2 {
+		t.Errorf("sender comm clock = %g, want 2", got)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	c := twoProcCluster(netmodel.Fixed{D: 1})
+	c.Start(func(p *Proc) {
+		if p.ID() == 0 {
+			p.Send(1, 0, 0, []float64{1, 2})
+			p.Send(1, 0, 1, []float64{3})
+		} else {
+			p.Recv(0, 0)
+			p.Recv(0, 0)
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	sent, _, bytes := c.Proc(0).Stats()
+	_, recvd, _ := c.Proc(1).Stats()
+	if sent != 2 || recvd != 2 {
+		t.Errorf("sent=%d recvd=%d, want 2 2", sent, recvd)
+	}
+	wantBytes := (8*2 + 64) + (8*1 + 64)
+	if bytes != wantBytes {
+		t.Errorf("bytes=%d, want %d", bytes, wantBytes)
+	}
+}
+
+func TestLinearMachines(t *testing.T) {
+	ms := LinearMachines(16, 1000, 10)
+	if len(ms) != 16 {
+		t.Fatalf("len = %d", len(ms))
+	}
+	if ms[0].Ops != 1000 {
+		t.Errorf("fastest = %g, want 1000", ms[0].Ops)
+	}
+	if math.Abs(ms[15].Ops-100) > 1e-9 {
+		t.Errorf("slowest = %g, want 100", ms[15].Ops)
+	}
+	for i := 1; i < 16; i++ {
+		if ms[i].Ops >= ms[i-1].Ops {
+			t.Errorf("capacities not strictly decreasing at %d", i)
+		}
+	}
+	// Single machine: fastest capacity.
+	one := LinearMachines(1, 500, 10)
+	if one[0].Ops != 500 {
+		t.Errorf("p=1 capacity = %g, want 500", one[0].Ops)
+	}
+}
+
+func TestTotalOps(t *testing.T) {
+	ms := UniformMachines(4, 25)
+	if got := TotalOps(ms); got != 100 {
+		t.Errorf("TotalOps = %g, want 100", got)
+	}
+}
+
+// Property: for any machine count and staggered send times, every message is
+// delivered exactly once and receive order from a single sender over a FIFO
+// (fixed-delay) link preserves send order.
+func TestFIFOOrderProperty(t *testing.T) {
+	f := func(nMsgs8 uint8) bool {
+		n := int(nMsgs8%20) + 1
+		c := twoProcCluster(netmodel.Fixed{D: 0.7})
+		var got []int
+		c.Start(func(p *Proc) {
+			if p.ID() == 0 {
+				for i := 0; i < n; i++ {
+					p.Send(1, 5, i, []float64{float64(i)})
+					p.Idle(0.01)
+				}
+			} else {
+				for i := 0; i < n; i++ {
+					m := p.Recv(0, 5)
+					got = append(got, m.Iter)
+				}
+			}
+		})
+		if err := c.Run(); err != nil {
+			return false
+		}
+		if len(got) != n {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,75 @@
+package cluster
+
+// Collective operations in the flat, PVM-era style the paper's testbed
+// offered: point-to-point messages under the covers, no topology-aware
+// trees. They are conveniences for setup/teardown phases (distributing
+// initial data, gathering results); the iterative engines use raw
+// Send/Recv so speculation can interpose.
+
+// Bcast distributes data from root to every processor and returns the
+// received (or original, on root) values. All processors must call it with
+// the same root and tag.
+func (p *Proc) Bcast(root, tag int, data []float64) []float64 {
+	if p.id == root {
+		for k := 0; k < p.P(); k++ {
+			if k != p.id {
+				p.Send(k, tag, 0, data)
+			}
+		}
+		out := make([]float64, len(data))
+		copy(out, data)
+		return out
+	}
+	return p.Recv(root, tag).Data
+}
+
+// Gather collects each processor's data at root. On root the returned slice
+// holds every processor's contribution indexed by rank; elsewhere it is nil.
+func (p *Proc) Gather(root, tag int, data []float64) [][]float64 {
+	if p.id != root {
+		p.Send(root, tag, 0, data)
+		return nil
+	}
+	out := make([][]float64, p.P())
+	out[p.id] = append([]float64(nil), data...)
+	for k := 0; k < p.P(); k++ {
+		if k == p.id {
+			continue
+		}
+		m := p.Recv(k, tag)
+		out[k] = m.Data
+	}
+	return out
+}
+
+// AllGather collects every processor's data on every processor.
+func (p *Proc) AllGather(tag int, data []float64) [][]float64 {
+	for k := 0; k < p.P(); k++ {
+		if k != p.id {
+			p.Send(k, tag, 0, data)
+		}
+	}
+	out := make([][]float64, p.P())
+	out[p.id] = append([]float64(nil), data...)
+	for k := 0; k < p.P(); k++ {
+		if k == p.id {
+			continue
+		}
+		out[k] = p.Recv(k, tag).Data
+	}
+	return out
+}
+
+// AllReduceSum element-wise sums data across all processors; every
+// processor returns the identical reduced vector. Vectors must share a
+// length.
+func (p *Proc) AllReduceSum(tag int, data []float64) []float64 {
+	parts := p.AllGather(tag, data)
+	out := make([]float64, len(data))
+	for _, part := range parts {
+		for i := range out {
+			out[i] += part[i]
+		}
+	}
+	return out
+}

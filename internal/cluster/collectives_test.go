@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"specomp/internal/netmodel"
+)
+
+func collectiveCluster(p int) *Cluster {
+	return New(Config{
+		Machines: UniformMachines(p, 1000),
+		Net:      netmodel.Fixed{D: 0.1},
+	})
+}
+
+func TestBcast(t *testing.T) {
+	c := collectiveCluster(4)
+	got := make([][]float64, 4)
+	c.Start(func(p *Proc) {
+		data := []float64{0, 0}
+		if p.ID() == 1 {
+			data = []float64{3.5, -1}
+		}
+		got[p.ID()] = p.Bcast(1, 50, data)
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if len(v) != 2 || v[0] != 3.5 || v[1] != -1 {
+			t.Errorf("proc %d got %v", i, v)
+		}
+	}
+}
+
+func TestGather(t *testing.T) {
+	c := collectiveCluster(3)
+	var atRoot [][]float64
+	var elsewhere [][]float64 = [][]float64{{1}} // sentinel
+	c.Start(func(p *Proc) {
+		res := p.Gather(0, 51, []float64{float64(p.ID() * 10)})
+		if p.ID() == 0 {
+			atRoot = res
+		} else if p.ID() == 2 {
+			elsewhere = res
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if elsewhere != nil {
+		t.Error("non-root got a gather result")
+	}
+	for k, v := range atRoot {
+		if v[0] != float64(k*10) {
+			t.Errorf("root slot %d = %v", k, v)
+		}
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	c := collectiveCluster(3)
+	got := make([][][]float64, 3)
+	c.Start(func(p *Proc) {
+		got[p.ID()] = p.AllGather(52, []float64{float64(p.ID())})
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for pid, all := range got {
+		for k, v := range all {
+			if v[0] != float64(k) {
+				t.Errorf("proc %d slot %d = %v", pid, k, v)
+			}
+		}
+	}
+}
+
+func TestAllReduceSum(t *testing.T) {
+	c := collectiveCluster(4)
+	got := make([][]float64, 4)
+	c.Start(func(p *Proc) {
+		got[p.ID()] = p.AllReduceSum(53, []float64{1, float64(p.ID())})
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for pid, v := range got {
+		if v[0] != 4 || math.Abs(v[1]-6) > 1e-12 { // 0+1+2+3
+			t.Errorf("proc %d reduced %v, want [4 6]", pid, v)
+		}
+	}
+}
+
+func TestCollectivesComposable(t *testing.T) {
+	// Gather at root, then Bcast the concatenation back out.
+	c := collectiveCluster(3)
+	finals := make([][]float64, 3)
+	c.Start(func(p *Proc) {
+		parts := p.Gather(0, 54, []float64{float64(p.ID() + 1)})
+		var flat []float64
+		if p.ID() == 0 {
+			for _, part := range parts {
+				flat = append(flat, part...)
+			}
+		}
+		finals[p.ID()] = p.Bcast(0, 55, flat)
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for pid, v := range finals {
+		if len(v) != 3 || v[0] != 1 || v[1] != 2 || v[2] != 3 {
+			t.Errorf("proc %d final %v", pid, v)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+)
+
+// LoadModel describes time-varying background CPU load on the simulated
+// workstations. The paper's testbed was timeshared Sparcs: "background
+// processor loads cause the computation times on processors to vary" — the
+// effect it names as one source of model-vs-measured error. A LoadModel
+// returns a slowdown factor ≥ 1 by which a computation's duration is
+// multiplied.
+type LoadModel interface {
+	Factor(proc int, now float64, rng *rand.Rand) float64
+}
+
+// NoLoad is the default: dedicated machines, factor 1.
+type NoLoad struct{}
+
+// Factor implements LoadModel.
+func (NoLoad) Factor(int, float64, *rand.Rand) float64 { return 1 }
+
+// BurstyLoad models sporadic timesharing competition: with probability Prob
+// per computation, the machine runs Slowdown× slower (another user's job is
+// resident); otherwise it is unloaded.
+type BurstyLoad struct {
+	Prob     float64
+	Slowdown float64
+}
+
+// Factor implements LoadModel.
+func (b BurstyLoad) Factor(_ int, _ float64, rng *rand.Rand) float64 {
+	if b.Prob > 0 && rng.Float64() < b.Prob {
+		if b.Slowdown < 1 {
+			return 1
+		}
+		return b.Slowdown
+	}
+	return 1
+}
+
+// PeriodicLoad models a slow daily/periodic swing: the factor oscillates
+// between 1 and 1+Amplitude with the given period, phase-shifted per
+// processor so machines do not slow down in lockstep.
+type PeriodicLoad struct {
+	Amplitude float64
+	Period    float64
+}
+
+// Factor implements LoadModel.
+func (p PeriodicLoad) Factor(proc int, now float64, _ *rand.Rand) float64 {
+	if p.Period <= 0 || p.Amplitude <= 0 {
+		return 1
+	}
+	phase := 2 * math.Pi * (now/p.Period + float64(proc)*0.37)
+	return 1 + p.Amplitude*0.5*(1+math.Sin(phase))
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"specomp/internal/cluster"
+)
+
+// AsyncConfig parameterizes the asynchronous baseline.
+type AsyncConfig struct {
+	// MaxIter is the number of local iterations each processor performs.
+	MaxIter int
+}
+
+// RunAsync executes the *asynchronous iterations* baseline the paper cites
+// as related work (Bertsekas & Tsitsiklis): a processor never waits — each
+// local iteration uses the newest peer values that happen to have arrived,
+// however stale. Unlike speculative computation there is no prediction, no
+// error bound and no repair, so correctness holds only for contracting
+// iterations (e.g. Jacobi on a dominant system), and the effective
+// information delay is unbounded.
+//
+// It exists as a comparison point: speculative computation keeps the
+// synchronous algorithm's per-iteration semantics (bounded, checked error)
+// while recovering most of the asynchronous method's wait-free speed.
+func RunAsync(p *cluster.Proc, app App, cfg AsyncConfig) (Result, error) {
+	if cfg.MaxIter < 1 {
+		return Result{}, fmt.Errorf("core: MaxIter must be >= 1, got %d", cfg.MaxIter)
+	}
+	pub, _ := app.(Publisher)
+
+	// newest[k] holds the newest payload seen from peer k.
+	newest := make([][]float64, p.P())
+	latestIter := make([]int, p.P())
+	for k := range latestIter {
+		latestIter[k] = -1
+	}
+	local := app.InitLocal()
+
+	stats := Stats{Iters: cfg.MaxIter}
+	for t := 0; t < cfg.MaxIter; t++ {
+		payload := local
+		if pub != nil {
+			payload = pub.Publish(local)
+		}
+		for k := 0; k < p.P(); k++ {
+			if k != p.ID() {
+				p.Send(k, DataTag, t, payload)
+			}
+		}
+		// Drain whatever has arrived; keep only the newest per peer.
+		for {
+			m, ok := p.TryRecv(cluster.Any, DataTag)
+			if !ok {
+				break
+			}
+			if m.Iter > latestIter[m.Src] {
+				latestIter[m.Src], newest[m.Src] = m.Iter, m.Data
+			}
+		}
+		// First iterations must still block until every peer has been heard
+		// from once — there is no value to substitute before that.
+		for k := 0; k < p.P(); k++ {
+			if k == p.ID() || newest[k] != nil {
+				continue
+			}
+			for newest[k] == nil {
+				m := p.Recv(cluster.Any, DataTag)
+				if m.Iter > latestIter[m.Src] {
+					latestIter[m.Src], newest[m.Src] = m.Iter, m.Data
+				}
+			}
+		}
+		view := make([][]float64, p.P())
+		copy(view, newest)
+		view[p.ID()] = local
+		local = app.Compute(view, t)
+		p.Compute(app.ComputeOps(), cluster.PhaseCompute)
+	}
+	stats.ComputeTime = p.PhaseTime(cluster.PhaseCompute)
+	stats.CommTime = p.PhaseTime(cluster.PhaseComm)
+	stats.TotalTime = p.Now()
+	return Result{Proc: p.ID(), Final: local, Stats: stats}, nil
+}
+
+// RunAsyncCluster is the RunCluster analogue for the asynchronous baseline.
+func RunAsyncCluster(cc cluster.Config, cfg AsyncConfig, factory Factory) ([]Result, error) {
+	c := cluster.New(cc)
+	results := make([]Result, c.P())
+	errs := make([]error, c.P())
+	c.Start(func(p *cluster.Proc) {
+		app := factory(p)
+		res, err := RunAsync(p, app, cfg)
+		results[p.ID()] = res
+		errs[p.ID()] = err
+	})
+	if err := c.Run(); err != nil {
+		return nil, err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: processor %d: %w", i, err)
+		}
+	}
+	return results, nil
+}

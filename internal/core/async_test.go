@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"specomp/internal/cluster"
+)
+
+func runAsyncCoupled(t *testing.T, cc cluster.Config, iters int) []Result {
+	t.Helper()
+	results, err := RunAsyncCluster(cc, AsyncConfig{MaxIter: iters}, func(p *cluster.Proc) App {
+		return &coupledMap{p: p, r: 2.8, eps: 0.3, threshold: 0.01, computeOp: 500, repairOp: 250}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+func TestAsyncNeverWaitsAfterStartup(t *testing.T) {
+	const iters = 30
+	results := runAsyncCoupled(t, uniformCluster(3, 2.0), iters)
+	for _, r := range results {
+		// Communication wait is bounded by the startup exchange, not
+		// proportional to the iteration count.
+		if r.Stats.CommTime > 3*2.0 {
+			t.Errorf("proc %d waited %.2fs — async should not block per iteration", r.Proc, r.Stats.CommTime)
+		}
+	}
+}
+
+func TestAsyncFasterThanBlocking(t *testing.T) {
+	const iters = 30
+	async := runAsyncCoupled(t, uniformCluster(3, 2.0), iters)
+	blocking := runCoupled(t, uniformCluster(3, 2.0), Config{FW: 0, MaxIter: iters}, 0.01)
+	if TotalTime(async) >= TotalTime(blocking) {
+		t.Errorf("async %.2f not faster than blocking %.2f", TotalTime(async), TotalTime(blocking))
+	}
+}
+
+func TestAsyncContractingMapStillConverges(t *testing.T) {
+	// r=2.8 logistic coupled map converges to a fixed point; asynchronous
+	// iteration with stale data must still land on it.
+	const iters = 120
+	async := runAsyncCoupled(t, uniformCluster(4, 1.5), iters)
+	want := 1 - 1/2.8 // logistic fixed point (eps-mixing preserves it)
+	for _, r := range async {
+		if d := r.Final[0] - want; d > 1e-6 || d < -1e-6 {
+			t.Errorf("proc %d: final %v, want %v", r.Proc, r.Final[0], want)
+		}
+	}
+}
+
+func TestAsyncValidation(t *testing.T) {
+	_, err := RunAsyncCluster(uniformCluster(2, 0.1), AsyncConfig{MaxIter: 0},
+		func(p *cluster.Proc) App { return &driftApp{p: p} })
+	if err == nil {
+		t.Error("MaxIter=0 should error")
+	}
+}
+
+func TestAsyncSingleProcessor(t *testing.T) {
+	results := runAsyncCoupled(t, uniformCluster(1, 1.0), 10)
+	if len(results) != 1 || results[0].Stats.CommTime != 0 {
+		t.Errorf("single-proc async misbehaved: %+v", results)
+	}
+}

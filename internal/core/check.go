@@ -1,0 +1,39 @@
+package core
+
+import "math"
+
+// RelErrCheck builds a CheckResult by comparing predicted and actual values
+// element-wise: element i is "bad" when |pred−act| > threshold·(1+|act|).
+// opsPerElem is the check's operation cost per element (the paper's
+// f_check). It is a convenience for apps without a domain-specific error
+// metric (the N-body app uses eq. 11 instead).
+func RelErrCheck(threshold, opsPerElem float64, predicted, actual []float64) CheckResult {
+	n := len(actual)
+	bad := 0
+	for i := 0; i < n && i < len(predicted); i++ {
+		if math.Abs(predicted[i]-actual[i]) > threshold*(1+math.Abs(actual[i])) {
+			bad++
+		}
+	}
+	if len(predicted) != n {
+		// A malformed prediction invalidates everything.
+		bad = n
+	}
+	return CheckResult{Bad: bad, Total: n, Ops: opsPerElem * float64(n)}
+}
+
+// MaxAbsErr returns the maximum absolute element-wise difference, a common
+// diagnostic for comparing speculative and blocking runs.
+func MaxAbsErr(a, b []float64) float64 {
+	worst := 0.0
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if d := math.Abs(a[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

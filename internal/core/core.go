@@ -1,0 +1,617 @@
+// Package core implements the paper's primary contribution: speculative
+// computation for synchronous iterative algorithms.
+//
+// A synchronous iterative algorithm evaluates X(t+1) = F(X(t)) with the
+// variable set X partitioned over p processors; each iteration every
+// processor broadcasts its partition and waits for every other partition
+// before computing (Figure 1 of the paper). With speculation (Figure 3), a
+// processor instead *predicts* the contents of messages that have not yet
+// arrived, computes on the predictions, and validates them when the real
+// messages arrive — masking communication latency with useful work.
+//
+// The engine supports:
+//
+//   - FW (forward window): how many iterations may rest on unvalidated
+//     speculated inputs. FW=0 is the classical blocking algorithm; FW=1 is
+//     Figure 3; FW≥2 pipelines further ahead (Figure 4).
+//   - BW (backward window): how many past snapshots the speculation function
+//     consults, via the predict.Predictor or an app-supplied Speculator.
+//   - Error checking and repair: when a prediction fails its tolerance
+//     check, the engine recomputes the affected iteration from the actual
+//     values (charging the app-defined repair cost), and cascades the
+//     recomputation through any later speculatively computed iterations.
+package core
+
+import (
+	"fmt"
+
+	"specomp/internal/cluster"
+	"specomp/internal/history"
+	"specomp/internal/predict"
+)
+
+// DataTag is the message tag used for partition exchanges.
+const DataTag = 1
+
+// Transport is what the engine needs from an execution substrate. The
+// simulated cluster's *cluster.Proc implements it against virtual time; the
+// realtime package implements it over goroutines, channels and the wall
+// clock. Compute charges work to the substrate's clock — a no-op for wall
+// clock substrates, where the work happens inside the app itself.
+type Transport interface {
+	ID() int
+	P() int
+	Now() float64
+	Compute(ops float64, ph cluster.Phase)
+	Send(dst, tag, iter int, data []float64)
+	TryRecv(src, tag int) (cluster.Message, bool)
+	Recv(src, tag int) cluster.Message
+	PhaseTime(ph cluster.Phase) float64
+}
+
+var _ Transport = (*cluster.Proc)(nil)
+
+// CheckResult reports the outcome of validating one speculated message.
+type CheckResult struct {
+	Bad   int     // check units out of tolerance
+	Total int     // check units examined
+	Ops   float64 // operation cost of performing the check (charged to the clock)
+}
+
+// App is one processor's view of a synchronous iterative application.
+type App interface {
+	// InitLocal returns the processor's initial partition values X_j(0).
+	InitLocal() []float64
+	// Compute evaluates X_j(t+1) from the global view of iteration t.
+	// view[k] holds partition k's values (actual or speculated);
+	// view[j] is the local partition. Compute must not retain view.
+	Compute(view [][]float64, t int) []float64
+	// ComputeOps is the operation count of one Compute call
+	// (the paper's N_i·f_comp).
+	ComputeOps() float64
+	// Check compares a speculated snapshot of peer k's partition against the
+	// actual one, judging whether computations based on the prediction are
+	// acceptable (the paper's error > threshold test). local is the local
+	// partition at iteration t, needed by error metrics that relate the
+	// speculation error to local state (e.g. eq. 11's particle distances).
+	Check(peer int, predicted, actual, local []float64, t int) CheckResult
+	// RepairOps is the operation cost of repairing the local computation
+	// after a failed check (the paper's k·N_i·f_comp recomputation charge,
+	// or a cheaper incremental correction).
+	RepairOps(r CheckResult) float64
+}
+
+// Publisher is an optional App extension: instead of broadcasting the whole
+// local partition every iteration, the engine broadcasts Publish(local) —
+// e.g. a stencil code publishes only its edge rows. Peers' view entries,
+// speculation, and error checking then all operate on the published form,
+// which shrinks both message sizes and speculation/checking overhead. The
+// local entry view[j] always stays the full partition.
+type Publisher interface {
+	Publish(local []float64) []float64
+}
+
+// Neighbors is an optional App extension restricting the exchange pattern:
+// the paper's general model is all-to-all ("each variable can potentially
+// be a function of all other variables"), but stencil-style applications
+// read only a few peers, and speculating or checking payloads that are
+// never read is pure overhead. Needs(k) reports whether this processor
+// reads peer k's payload; NeededBy(k) whether peer k reads this
+// processor's. Implementations must be mutually consistent across
+// processors (j.Needs(k) == k.NeededBy(j)), or receives will deadlock.
+// When an App implements Neighbors, unneeded peers get no messages and a
+// nil view entry, and Stopper.Done sees nil entries for them too.
+type Neighbors interface {
+	Needs(peer int) bool
+	NeededBy(peer int) bool
+}
+
+// Corrector is an optional App extension implementing the paper's
+// "correction function": instead of recomputing X_j(t+1) from scratch when
+// a speculation fails its check, the app patches the already-computed local
+// values incrementally given the prediction that was used and the actual
+// message (e.g. N-body subtracts the speculated pair forces and adds the
+// actual ones). Correct must return values identical to recomputing with
+// the corrected view; the engine still charges RepairOps.
+type Corrector interface {
+	// Correct returns the fixed X_j(t+1). computed is the speculatively
+	// computed local result; local is X_j(t); pred and act are peer k's
+	// speculated and actual iteration-t payloads.
+	Correct(computed, local []float64, peer int, pred, act []float64, t int) []float64
+}
+
+// Stopper is an optional App extension for convergence-based termination.
+// After iteration t is fully validated, Done is evaluated on the *actual*
+// exchanged snapshots of iteration t — every processor holds the identical
+// set (each peer's broadcast payload plus its own), so all processors reach
+// the same decision deterministically and stop at the same logical
+// iteration, without any extra synchronization round.
+type Stopper interface {
+	// Done reports whether the computation has converged. actualView[k] is
+	// processor k's iteration-t broadcast payload (the published form when
+	// the app is a Publisher, including the caller's own entry).
+	Done(actualView [][]float64, t int) bool
+	// DoneOps is the operation cost charged per evaluation.
+	DoneOps() float64
+}
+
+// Speculator is an optional App extension for domain-specific speculation
+// (e.g. the N-body velocity extrapolation of eq. 10). hist holds the actual
+// snapshots of the peer's partition, newest first; steps is how many
+// iterations past hist[0] to extrapolate. It returns the prediction and the
+// operation cost charged to the clock.
+type Speculator interface {
+	Speculate(peer int, hist [][]float64, steps int) (pred []float64, ops float64)
+}
+
+// Config parameterizes an engine run.
+type Config struct {
+	// FW is the forward window. 0 disables speculation entirely.
+	FW int
+	// BW is the backward window: depth of per-peer history retained for the
+	// speculation function. Defaults to max(Predictor.Window(), 2).
+	BW int
+	// Predictor is the generic speculation function used when the App does
+	// not implement Speculator. Defaults to predict.Linear{}.
+	Predictor predict.Predictor
+	// MaxIter is the number of iterations to execute. Must be >= 1.
+	MaxIter int
+	// HoldSends, when true with FW >= 2, delays sending a speculatively
+	// computed partition until its inputs have been validated (ablation of
+	// the "speculative sends" design decision).
+	HoldSends bool
+}
+
+// Stats aggregates one processor's speculation behaviour over a run.
+type Stats struct {
+	Iters        int
+	SpecsMade    int // peer-iteration predictions performed
+	SpecsChecked int // predictions validated against actual messages
+	SpecsBad     int // validations that exceeded tolerance
+	UnitsBad     int64
+	UnitsTotal   int64
+	Repairs      int // iterations repaired after a failed check
+	CascadeRedos int // later iterations recomputed due to an upstream repair
+
+	ComputeTime float64
+	CommTime    float64
+	SpecTime    float64
+	CheckTime   float64
+	CorrectTime float64
+	TotalTime   float64
+}
+
+// BadFraction returns the fraction of validated predictions that exceeded
+// tolerance — the measured analogue of the model's k.
+func (s Stats) BadFraction() float64 {
+	if s.SpecsChecked == 0 {
+		return 0
+	}
+	return float64(s.SpecsBad) / float64(s.SpecsChecked)
+}
+
+// UnitBadFraction returns the fraction of individual check units (e.g.
+// particle pairs) out of tolerance.
+func (s Stats) UnitBadFraction() float64 {
+	if s.UnitsTotal == 0 {
+		return 0
+	}
+	return float64(s.UnitsBad) / float64(s.UnitsTotal)
+}
+
+// Result is one processor's outcome.
+type Result struct {
+	Proc  int
+	Final []float64 // X_j after the last executed iteration
+	// Converged is true when a Stopper terminated the run before MaxIter;
+	// Stats.Iters then holds the number of iterations actually executed.
+	Converged bool
+	Stats     Stats
+}
+
+// engine is the per-processor execution state.
+type engine struct {
+	p   Transport
+	app App
+	cfg Config
+
+	spec    Speculator // nil unless app implements it
+	pub     Publisher  // nil unless app implements it
+	stopper Stopper    // nil unless app implements it
+	corr    Corrector  // nil unless app implements it
+	nbrs    Neighbors  // nil unless app implements it
+
+	stopped  bool // converged early
+	stopIter int  // iteration at which Done reported true
+
+	// received[k][t] holds the actual snapshot of peer k at iteration t.
+	received []map[int][]float64
+	// newestActual[k] is the newest iteration for which an actual snapshot
+	// from k has been consumed into history; -1 before any.
+	hist []*history.Ring[[]float64]
+	// own[t] is the local partition at iteration t.
+	own map[int][]float64
+	// views[t] is the assembled global view used to compute own[t+1].
+	views map[int][][]float64
+	// preds[t][k] is the prediction used for peer k at iteration t (nil if
+	// the actual value was available).
+	preds map[int][][]float64
+	// validated is the highest iteration whose inputs are fully validated.
+	validated int
+	// frontier is the highest iteration whose Compute has run.
+	frontier int
+
+	stats Stats
+}
+
+// Run executes the synchronous iterative application on transport p —
+// a simulated processor (call from within a cluster.Start body) or any
+// other Transport implementation. Every processor of the run must use an
+// identical Config.
+func Run(p Transport, app App, cfg Config) (Result, error) {
+	if cfg.MaxIter < 1 {
+		return Result{}, fmt.Errorf("core: MaxIter must be >= 1, got %d", cfg.MaxIter)
+	}
+	if cfg.FW < 0 {
+		return Result{}, fmt.Errorf("core: negative FW")
+	}
+	if cfg.Predictor == nil {
+		cfg.Predictor = predict.Linear{}
+	}
+	if cfg.BW <= 0 {
+		cfg.BW = cfg.Predictor.Window()
+		if cfg.BW < 2 {
+			cfg.BW = 2
+		}
+	}
+	e := &engine{
+		p:   p,
+		app: app,
+		cfg: cfg,
+
+		received:  make([]map[int][]float64, p.P()),
+		hist:      make([]*history.Ring[[]float64], p.P()),
+		own:       make(map[int][]float64),
+		views:     make(map[int][][]float64),
+		preds:     make(map[int][][]float64),
+		validated: -1,
+		frontier:  -1,
+	}
+	if s, ok := app.(Speculator); ok {
+		e.spec = s
+	}
+	if p2, ok := app.(Publisher); ok {
+		e.pub = p2
+	}
+	if st, ok := app.(Stopper); ok {
+		e.stopper = st
+	}
+	if co, ok := app.(Corrector); ok {
+		e.corr = co
+	}
+	if nb, ok := app.(Neighbors); ok {
+		e.nbrs = nb
+	}
+	for k := 0; k < p.P(); k++ {
+		if k == p.ID() {
+			continue
+		}
+		e.received[k] = make(map[int][]float64)
+		e.hist[k] = history.NewRing[[]float64](cfg.BW)
+	}
+	e.run()
+	e.stats.Iters = cfg.MaxIter
+	if e.stopped {
+		e.stats.Iters = e.stopIter + 1
+	}
+	e.stats.ComputeTime = p.PhaseTime(cluster.PhaseCompute)
+	e.stats.CommTime = p.PhaseTime(cluster.PhaseComm)
+	e.stats.SpecTime = p.PhaseTime(cluster.PhaseSpec)
+	e.stats.CheckTime = p.PhaseTime(cluster.PhaseCheck)
+	e.stats.CorrectTime = p.PhaseTime(cluster.PhaseCorrect)
+	e.stats.TotalTime = p.Now()
+	final := e.own[cfg.MaxIter]
+	if e.stopped {
+		final = e.own[e.stopIter+1]
+	}
+	return Result{Proc: p.ID(), Final: final, Converged: e.stopped, Stats: e.stats}, nil
+}
+
+func (e *engine) run() {
+	e.own[0] = e.app.InitLocal()
+	for t := 0; t < e.cfg.MaxIter && !e.stopped; t++ {
+		if e.cfg.HoldSends && t > 0 {
+			// Ablation: never send values computed from unvalidated inputs.
+			e.validateThrough(t - 1)
+		}
+		e.broadcast(t)
+		e.drain()
+		view := e.assembleView(t)
+		e.views[t] = view
+		next := e.app.Compute(view, t)
+		e.p.Compute(e.app.ComputeOps(), cluster.PhaseCompute)
+		e.own[t+1] = next
+		e.frontier = t
+		// Keep at most FW iterations resting on unvalidated inputs: after
+		// computing iteration t, everything up to t+1−FW must be validated.
+		// With FW=1 this validates iteration t itself — exactly Figure 3's
+		// "compute, then wait for the remaining messages and check".
+		lag := t + 1 - e.cfg.FW
+		if lag > t {
+			lag = t // FW=0: iteration t's inputs were already actual
+		}
+		if lag >= 0 {
+			e.validateThrough(lag)
+		}
+	}
+	if !e.stopped {
+		e.validateThrough(e.cfg.MaxIter - 1)
+	}
+}
+
+// broadcast sends the local partition (or its published projection) for
+// iteration t to every peer.
+func (e *engine) broadcast(t int) {
+	payload := e.own[t]
+	if e.pub != nil {
+		payload = e.pub.Publish(payload)
+	}
+	for k := 0; k < e.p.P(); k++ {
+		if k == e.p.ID() || !e.neededBy(k) {
+			continue
+		}
+		e.p.Send(k, DataTag, t, payload)
+	}
+}
+
+// needs reports whether this processor reads peer k's payload.
+func (e *engine) needs(k int) bool {
+	return e.nbrs == nil || e.nbrs.Needs(k)
+}
+
+// neededBy reports whether peer k reads this processor's payload.
+func (e *engine) neededBy(k int) bool {
+	return e.nbrs == nil || e.nbrs.NeededBy(k)
+}
+
+// drain moves every delivered message into the received stash.
+func (e *engine) drain() {
+	for {
+		m, ok := e.p.TryRecv(cluster.Any, DataTag)
+		if !ok {
+			return
+		}
+		e.stash(m)
+	}
+}
+
+func (e *engine) stash(m cluster.Message) {
+	e.received[m.Src][m.Iter] = m.Data
+}
+
+// actual blocks until the real snapshot of peer k at iteration t is
+// available, stashing any other traffic that arrives meanwhile.
+func (e *engine) actual(k, t int) []float64 {
+	for {
+		if v, ok := e.received[k][t]; ok {
+			return v
+		}
+		e.stash(e.p.Recv(cluster.Any, DataTag))
+	}
+}
+
+// assembleView builds the global view for iteration t. With FW=0 it blocks
+// for every actual snapshot (Figure 1); otherwise missing snapshots are
+// speculated (Figure 3) and recorded for later validation.
+func (e *engine) assembleView(t int) [][]float64 {
+	view := make([][]float64, e.p.P())
+	view[e.p.ID()] = e.own[t]
+	var preds [][]float64
+	for k := 0; k < e.p.P(); k++ {
+		if k == e.p.ID() || !e.needs(k) {
+			continue
+		}
+		if v, ok := e.received[k][t]; ok {
+			view[k] = v
+			continue
+		}
+		if e.cfg.FW == 0 {
+			view[k] = e.actual(k, t)
+			continue
+		}
+		pred := e.speculate(k, t)
+		if pred == nil {
+			// No history to speculate from (startup): block for the actual.
+			view[k] = e.actual(k, t)
+			continue
+		}
+		view[k] = pred
+		if preds == nil {
+			preds = make([][]float64, e.p.P())
+		}
+		preds[k] = pred
+		e.stats.SpecsMade++
+	}
+	if preds != nil {
+		e.preds[t] = preds
+	}
+	return view
+}
+
+// speculate predicts peer k's iteration-t snapshot from the newest actual
+// snapshots on hand. Returns nil if no actuals exist yet.
+func (e *engine) speculate(k, t int) []float64 {
+	// Find the newest actual at or before t-1 and collect a consecutive
+	// newest-first history from it.
+	var hist [][]float64
+	base := -1
+	for s := t - 1; s >= 0 && s >= t-e.cfg.BW-e.cfg.FW; s-- {
+		if v, ok := e.received[k][s]; ok {
+			base = s
+			hist = append(hist, v)
+			for q := s - 1; q >= 0 && len(hist) < e.cfg.BW; q-- {
+				v2, ok2 := e.received[k][q]
+				if !ok2 {
+					break
+				}
+				hist = append(hist, v2)
+			}
+			break
+		}
+	}
+	if base == -1 {
+		// Fall back to ring history (older validated snapshots).
+		if e.hist[k].Len() == 0 {
+			return nil
+		}
+		hist = e.hist[k].NewestFirst()
+		base = e.histNewestIter(k)
+	}
+	steps := t - base
+	if steps < 1 {
+		steps = 1
+	}
+	var pred []float64
+	var ops float64
+	if e.spec != nil {
+		pred, ops = e.spec.Speculate(k, hist, steps)
+	} else {
+		pred = e.cfg.Predictor.Predict(hist, steps)
+		ops = e.cfg.Predictor.Ops() * float64(len(pred)) * float64(steps)
+	}
+	e.p.Compute(ops, cluster.PhaseSpec)
+	return pred
+}
+
+// histNewestIter returns the iteration number of the newest ring entry for
+// peer k. The ring is only used as a fallback; entries are pushed in
+// iteration order during validation, so the newest is `validated`.
+func (e *engine) histNewestIter(k int) int { return e.validated }
+
+// validateThrough blocks until every iteration up to and including t has all
+// its speculated inputs checked against actual messages, repairing and
+// cascading recomputations as needed.
+func (e *engine) validateThrough(t int) {
+	for s := e.validated + 1; s <= t && !e.stopped; s++ {
+		e.validateIter(s)
+		e.validated = s
+		e.checkConverged(s)
+		e.retire(s)
+	}
+}
+
+// checkConverged evaluates the optional Stopper on iteration s's actual
+// exchanged snapshots. All processors hold identical snapshot sets, so the
+// decision is globally consistent without extra messages.
+func (e *engine) checkConverged(s int) {
+	if e.stopper == nil {
+		return
+	}
+	view := make([][]float64, e.p.P())
+	for k := 0; k < e.p.P(); k++ {
+		if k == e.p.ID() {
+			payload := e.own[s]
+			if e.pub != nil {
+				payload = e.pub.Publish(payload)
+			}
+			view[k] = payload
+			continue
+		}
+		if !e.needs(k) {
+			continue // no messages from unneeded peers
+		}
+		view[k] = e.actual(k, s)
+	}
+	if ops := e.stopper.DoneOps(); ops > 0 {
+		e.p.Compute(ops, cluster.PhaseOther)
+	}
+	if e.stopper.Done(view, s) {
+		e.stopped = true
+		e.stopIter = s
+	}
+}
+
+func (e *engine) validateIter(t int) {
+	preds := e.preds[t]
+	dirty := false
+	var worst CheckResult
+	var badPeers []int
+	for k := 0; k < e.p.P(); k++ {
+		if k == e.p.ID() || !e.needs(k) {
+			continue
+		}
+		if preds == nil || preds[k] == nil {
+			// Actual was used directly; just make sure we have consumed it
+			// for history purposes.
+			e.actualIntoHistory(k, t)
+			continue
+		}
+		act := e.actual(k, t)
+		res := e.app.Check(k, preds[k], act, e.own[t], t)
+		if res.Ops > 0 {
+			e.p.Compute(res.Ops, cluster.PhaseCheck)
+		}
+		e.stats.SpecsChecked++
+		e.stats.UnitsBad += int64(res.Bad)
+		e.stats.UnitsTotal += int64(res.Total)
+		if res.Bad > 0 {
+			e.stats.SpecsBad++
+			dirty = true
+			worst.Bad += res.Bad
+			worst.Total += res.Total
+			badPeers = append(badPeers, k)
+			// Patch the stored view with the actual values for recompute.
+			e.views[t][k] = act
+		}
+		e.actualIntoHistory(k, t)
+	}
+	if !dirty {
+		return
+	}
+	// Repair, charging the app-defined cost (the paper's k·N_i·f_comp or a
+	// cheaper incremental correction): apply the app's correction function
+	// if it has one, otherwise recompute X_j(t+1) from the corrected view.
+	e.stats.Repairs++
+	if e.corr != nil {
+		fixed := e.own[t+1]
+		for _, k := range badPeers {
+			fixed = e.corr.Correct(fixed, e.own[t], k, preds[k], e.views[t][k], t)
+		}
+		e.own[t+1] = fixed
+	} else {
+		e.own[t+1] = e.app.Compute(e.views[t], t)
+	}
+	e.p.Compute(e.app.RepairOps(worst), cluster.PhaseCorrect)
+	// Cascade: any later iterations already computed used the stale
+	// X_j(t+1). Their values are recomputed exactly, but the clock charge is
+	// the app's incremental repair cost — the affected work is the part
+	// touched by the corrected inputs, the same accounting the paper's
+	// k·N_i·f_comp term models (a full-recompute app simply returns
+	// ComputeOps from RepairOps).
+	for s := t + 1; s <= e.frontier; s++ {
+		e.views[s][e.p.ID()] = e.own[s]
+		e.own[s+1] = e.app.Compute(e.views[s], s)
+		e.p.Compute(e.app.RepairOps(worst), cluster.PhaseCorrect)
+		e.stats.CascadeRedos++
+	}
+}
+
+// actualIntoHistory pushes peer k's iteration-t actual snapshot into the
+// backward-window ring (validation proceeds in iteration order, so pushes
+// are ordered too) and prunes stale stash entries.
+func (e *engine) actualIntoHistory(k, t int) {
+	v := e.actual(k, t)
+	e.hist[k].Push(v)
+	delete(e.received[k], t-e.cfg.BW-e.cfg.FW-1)
+}
+
+// retire drops per-iteration bookkeeping no longer needed after validation.
+func (e *engine) retire(t int) {
+	delete(e.preds, t)
+	if t <= e.frontier {
+		// views[t] may still be needed by a cascade from an earlier repair
+		// only while t is unvalidated; once validated it is safe to drop.
+		delete(e.views, t)
+	}
+	delete(e.own, t-1)
+}

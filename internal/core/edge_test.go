@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"specomp/internal/cluster"
+	"specomp/internal/netmodel"
+)
+
+// emptyOKApp gives some processors zero variables (N < p), which the
+// engine must tolerate: empty broadcasts, empty speculations, empty checks.
+type emptyOKApp struct {
+	pid, p, n int // n variables distributed to the first n processors
+}
+
+func (a *emptyOKApp) InitLocal() []float64 {
+	if a.pid < a.n {
+		return []float64{float64(a.pid + 1)}
+	}
+	return nil
+}
+
+func (a *emptyOKApp) Compute(view [][]float64, t int) []float64 {
+	sum := 0.0
+	for _, part := range view {
+		for _, v := range part {
+			sum += v
+		}
+	}
+	if a.pid < a.n {
+		return []float64{view[a.pid][0]*0.9 + 0.1*sum/float64(a.n)}
+	}
+	return nil
+}
+
+func (a *emptyOKApp) ComputeOps() float64 { return 50 }
+
+func (a *emptyOKApp) Check(peer int, pred, act, local []float64, t int) CheckResult {
+	return RelErrCheck(0.05, 1, pred, act)
+}
+
+func (a *emptyOKApp) RepairOps(r CheckResult) float64 { return 50 }
+
+func TestEmptyPartitionsTolerated(t *testing.T) {
+	for _, fw := range []int{0, 1, 2} {
+		results, err := RunCluster(uniformCluster(5, 0.05),
+			Config{FW: fw, MaxIter: 12},
+			func(pr *cluster.Proc) App { return &emptyOKApp{pid: pr.ID(), p: pr.P(), n: 3} })
+		if err != nil {
+			t.Fatalf("FW=%d: %v", fw, err)
+		}
+		for _, r := range results {
+			if r.Proc < 3 && len(r.Final) != 1 {
+				t.Errorf("FW=%d proc %d: final %v", fw, r.Proc, r.Final)
+			}
+			if r.Proc >= 3 && len(r.Final) != 0 {
+				t.Errorf("FW=%d proc %d should own nothing: %v", fw, r.Proc, r.Final)
+			}
+		}
+	}
+}
+
+func TestHorizonAbortsRunawayEngine(t *testing.T) {
+	c := cluster.New(cluster.Config{
+		Machines: cluster.UniformMachines(2, 1000),
+		Net:      netmodel.Fixed{D: 0.01},
+		Horizon:  5, // far less than 100000 iterations need
+	})
+	c.Start(func(pr *cluster.Proc) {
+		app := &emptyOKApp{pid: pr.ID(), p: pr.P(), n: 2}
+		_, _ = Run(pr, app, Config{FW: 1, MaxIter: 100000})
+	})
+	if err := c.Run(); err == nil {
+		t.Fatal("expected horizon error")
+	}
+	if c.Now() > 5 {
+		t.Errorf("clock ran past horizon: %v", c.Now())
+	}
+}

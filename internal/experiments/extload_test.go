@@ -1,0 +1,69 @@
+package experiments
+
+import "testing"
+
+func TestExtLoadInflatesTimesButSpecStillWins(t *testing.T) {
+	cfg := QuickNBody()
+	rep, err := ExtLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet := rep.SeriesByName("unloaded")
+	loaded := rep.SeriesByName("bursty-load")
+	if quiet == nil || loaded == nil || len(quiet.Y) != 3 || len(loaded.Y) != 3 {
+		t.Fatalf("missing series: %+v", rep.Series)
+	}
+	for i := range quiet.Y {
+		if loaded.Y[i] <= quiet.Y[i] {
+			t.Errorf("FW=%d: bursty load (%v) did not inflate time (%v)", i, loaded.Y[i], quiet.Y[i])
+		}
+	}
+	// Speculation still beats blocking under load.
+	if loaded.Y[1] >= loaded.Y[0] {
+		t.Errorf("under load, FW=1 (%v) does not beat FW=0 (%v)", loaded.Y[1], loaded.Y[0])
+	}
+}
+
+func TestExtTopologySpecGainGrowsWithCrossLatency(t *testing.T) {
+	cfg := QuickNBody()
+	rep, err := ExtTopology(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockS := rep.SeriesByName("blocking")
+	specS := rep.SeriesByName("speculative")
+	if blockS == nil || specS == nil || len(blockS.Y) != 4 {
+		t.Fatalf("missing series: %+v", rep.Series)
+	}
+	// Blocking time grows with the cross-switch penalty.
+	for i := 1; i < len(blockS.Y); i++ {
+		if blockS.Y[i] <= blockS.Y[i-1] {
+			t.Errorf("blocking time not increasing with cross latency: %v", blockS.Y)
+			break
+		}
+	}
+	// Speculation's relative gain at the largest penalty beats its gain at zero.
+	gain0 := 1 - specS.Y[0]/blockS.Y[0]
+	gainMax := 1 - specS.Y[len(specS.Y)-1]/blockS.Y[len(blockS.Y)-1]
+	if gainMax <= gain0 {
+		t.Errorf("gain did not grow with cross latency: %.3f -> %.3f", gain0, gainMax)
+	}
+}
+
+func TestExtAppsAllGain(t *testing.T) {
+	cfg := QuickNBody()
+	rep, err := ExtApps(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gains := rep.SeriesByName("gain%")
+	if gains == nil || len(gains.Y) != 4 {
+		t.Fatalf("missing gains: %+v", rep.Series)
+	}
+	names := []string{"nbody", "jacobi", "heat", "sor"}
+	for i, g := range gains.Y {
+		if g <= 0 {
+			t.Errorf("%s: speculation gain %.1f%% not positive", names[i], g)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"fmt"
+
+	"specomp/internal/perfmodel"
+)
+
+// Figure6 reproduces the paper's Figure 6: model speedup on 8 processors as
+// a function of the recomputation percentage k, using the literal §4
+// instantiation. Speculation beats the (k-independent) no-speculation
+// baseline until k crosses a threshold in the neighbourhood of the paper's
+// "less than 10%".
+func Figure6() Report {
+	rep := Report{
+		ID:    "fig6",
+		Title: "model speedup on 8 processors vs recomputation % k",
+	}
+	const p = 8
+	m := perfmodel.Section4Params()
+	base := m.SpeedupNoSpec(p)
+	spec := Series{Name: "spec"}
+	noSpec := Series{Name: "no-spec"}
+	cross := -1.0
+	for k := 0.0; k <= 0.20001; k += 0.01 {
+		mm := m
+		mm.K = k
+		s := mm.SpeedupSpec(p)
+		spec.X, spec.Y = append(spec.X, k*100), append(spec.Y, s)
+		noSpec.X, noSpec.Y = append(noSpec.X, k*100), append(noSpec.Y, base)
+		if cross < 0 && s < base {
+			cross = k
+		}
+	}
+	rep.Series = []Series{spec, noSpec}
+	rep.Lines = append(rep.Lines,
+		fmt.Sprintf("no-spec speedup on %d processors: %.3f", p, base),
+		fmt.Sprintf("speculation loses beyond k ≈ %.0f%% (paper: gain for errors < 10%%)", cross*100),
+	)
+	return rep
+}

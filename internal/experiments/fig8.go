@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+
+	"specomp/internal/core"
+)
+
+// Figure8 reproduces the paper's Figure 8: measured N-body speedup versus
+// number of processors for forward windows 0, 1 and 2 (θ = 0.01), together
+// with the maximum attainable speedup Σ M_i / M_1. Speedups are relative to
+// the fastest single processor, exactly as the paper defines them.
+func Figure8(cfg NBodyConfig) (Report, error) {
+	rep := Report{
+		ID:    "fig8",
+		Title: fmt.Sprintf("N-body speedup vs processors (N=%d, θ=%g, FW=0/1/2)", cfg.N, cfg.Theta),
+	}
+	serial, err := cfg.SerialTime()
+	if err != nil {
+		return rep, err
+	}
+	windows := []int{0, 1, 2}
+	series := make([]Series, len(windows)+1)
+	for wi, fw := range windows {
+		series[wi].Name = fmt.Sprintf("FW=%d", fw)
+	}
+	series[len(windows)].Name = "max"
+	for p := 1; p <= cfg.MaxProcs; p++ {
+		for wi, fw := range windows {
+			results, err := cfg.Run(p, fw, cfg.Theta, nil)
+			if err != nil {
+				return rep, err
+			}
+			s := serial / core.TotalTime(results)
+			series[wi].X = append(series[wi].X, float64(p))
+			series[wi].Y = append(series[wi].Y, s)
+		}
+		series[len(windows)].X = append(series[len(windows)].X, float64(p))
+		series[len(windows)].Y = append(series[len(windows)].Y, cfg.SumCaps(p)/cfg.SumCaps(1))
+	}
+	rep.Series = series
+	last := len(series[0].Y) - 1
+	gain1 := series[1].Y[last]/series[0].Y[last] - 1
+	gain2 := series[2].Y[last]/series[0].Y[last] - 1
+	rep.Lines = append(rep.Lines,
+		fmt.Sprintf("serial time on P1: %.2f s (%d iterations)", serial, cfg.Iters),
+		fmt.Sprintf("at p=%d: FW=1 gains %.1f%%, FW=2 gains %.1f%% over no speculation (paper: up to 34%%)",
+			cfg.MaxProcs, gain1*100, gain2*100),
+		fmt.Sprintf("FW=2 speedup is %.0f%% of the maximum attainable (paper: within 20%%)",
+			100*series[2].Y[last]/series[3].Y[last]),
+	)
+	return rep, nil
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// These tests run the paper-scale configuration (N=1000, 16 machines) and
+// pin the headline reproduction numbers to the paper's bands. They take on
+// the order of a minute; `go test -short` skips them.
+
+func TestFullScaleTable2Bands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale run")
+	}
+	cfg := DefaultNBody()
+	_, rows, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compute per iteration calibrated to the paper's 5.83 s (±10%).
+	for _, r := range rows {
+		if r.Computation < 5.2 || r.Computation > 6.4 {
+			t.Errorf("FW=%d compute %.2f s/iter outside 5.83±10%%", r.FW, r.Computation)
+		}
+	}
+	// Blocking communication share ≈ 40-60% of total (paper: 45%).
+	share := rows[0].Comm / rows[0].Total
+	if share < 0.3 || share > 0.6 {
+		t.Errorf("FW=0 comm share %.2f outside [0.3, 0.6]", share)
+	}
+	// Speculation slashes blocked time and improves totals.
+	if rows[1].Comm > rows[0].Comm*0.5 {
+		t.Errorf("FW=1 comm %.2f not well below FW=0 %.2f", rows[1].Comm, rows[0].Comm)
+	}
+	gain1 := rows[0].Total/rows[1].Total - 1
+	if gain1 < 0.15 || gain1 > 0.6 {
+		t.Errorf("FW=1 gain %.0f%% outside the paper band [15%%, 60%%]", gain1*100)
+	}
+}
+
+func TestFullScaleTable3Bands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale run")
+	}
+	cfg := DefaultNBody()
+	_, rows, err := Table3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// θ=0.01 row: paper reports 2% incorrect / 2% max force error.
+	var row001 Table3Row
+	for _, r := range rows {
+		if r.Theta == 0.01 {
+			row001 = r
+		}
+	}
+	if row001.IncorrectPct < 0.5 || row001.IncorrectPct > 8 {
+		t.Errorf("θ=0.01 incorrect %.2f%% outside [0.5, 8] (paper: 2%%)", row001.IncorrectPct)
+	}
+	if row001.MaxForceErr < 0.5 || row001.MaxForceErr > 4 {
+		t.Errorf("θ=0.01 max force err %.2f%% outside [0.5, 4] (paper: 2%%)", row001.MaxForceErr)
+	}
+	// Monotonicity across the sweep.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].IncorrectPct < rows[i-1].IncorrectPct-1e-9 {
+			t.Errorf("incorrect%% not monotone: %+v", rows)
+		}
+		if rows[i].MaxForceErr > rows[i-1].MaxForceErr+1e-9 {
+			t.Errorf("force error not decreasing as θ tightens: %+v", rows)
+		}
+	}
+}
+
+func TestFullScaleFigure9Bands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale run")
+	}
+	cfg := DefaultNBody()
+	rep, err := Figure9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mNo := rep.SeriesByName("measured FW=0")
+	pNo := rep.SeriesByName("model no-spec")
+	mSp := rep.SeriesByName("measured FW=1")
+	pSp := rep.SeriesByName("model spec")
+	var worstSmall, worstLarge float64
+	for i := range mNo.Y {
+		e := math.Max(
+			math.Abs(pNo.Y[i]-mNo.Y[i])/mNo.Y[i],
+			math.Abs(pSp.Y[i]-mSp.Y[i])/mSp.Y[i])
+		if i+1 <= 8 {
+			worstSmall = math.Max(worstSmall, e)
+		} else {
+			worstLarge = math.Max(worstLarge, e)
+		}
+	}
+	// Paper: within 10% for p<=8, ~25% beyond. Allow modest headroom.
+	if worstSmall > 0.15 {
+		t.Errorf("model error %.1f%% for p<=8, paper band ~10%%", worstSmall*100)
+	}
+	if worstLarge > 0.35 {
+		t.Errorf("model error %.1f%% for p>8, paper band ~25%%", worstLarge*100)
+	}
+}

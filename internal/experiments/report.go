@@ -1,0 +1,84 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation. Each driver builds the workload, runs it on the
+// simulated cluster (or evaluates the performance model), and returns a
+// Report with the same rows/series the paper presents. The cmd/specbench
+// binary and the repository benchmarks regenerate everything from here.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"specomp/internal/plot"
+)
+
+// Series is one plottable line of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Report is a reproduced table or figure.
+type Report struct {
+	ID     string // e.g. "fig5", "table2"
+	Title  string
+	Lines  []string
+	Series []Series
+}
+
+// String renders the report for terminal output.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "series %-12s:", s.Name)
+		for i := range s.X {
+			fmt.Fprintf(&b, " (%g, %.4g)", s.X[i], s.Y[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// find returns the named series, or nil.
+func (r Report) find(name string) *Series {
+	for i := range r.Series {
+		if r.Series[i].Name == name {
+			return &r.Series[i]
+		}
+	}
+	return nil
+}
+
+// SeriesByName exposes find for consumers outside the package.
+func (r Report) SeriesByName(name string) *Series { return r.find(name) }
+
+// plotSeries converts to the plot package's series type.
+func (r Report) plotSeries() []plot.Series {
+	out := make([]plot.Series, len(r.Series))
+	for i, s := range r.Series {
+		out[i] = plot.Series{Name: s.Name, X: s.X, Y: s.Y}
+	}
+	return out
+}
+
+// Chart renders the report's series as an ASCII line chart.
+func (r Report) Chart(width, height int) string {
+	if len(r.Series) == 0 {
+		return ""
+	}
+	return plot.Chart(r.plotSeries(), width, height)
+}
+
+// CSV renders the report's series as comma-separated columns.
+func (r Report) CSV() string {
+	if len(r.Series) == 0 {
+		return ""
+	}
+	return plot.CSV(r.plotSeries())
+}

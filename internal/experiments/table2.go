@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+
+	"specomp/internal/core"
+)
+
+// Table2Row holds the per-iteration phase times of one forward-window
+// setting, matching the paper's Table 2 columns.
+type Table2Row struct {
+	FW          int
+	Computation float64
+	Comm        float64
+	Speculation float64
+	Check       float64
+	Correct     float64
+	Total       float64
+}
+
+// Table2 reproduces the paper's Table 2: average per-iteration time spent in
+// each phase on the critical (last-finishing) processor of a full-size run,
+// for forward windows 0, 1 and 2.
+func Table2(cfg NBodyConfig) (Report, []Table2Row, error) {
+	rep := Report{
+		ID:    "table2",
+		Title: fmt.Sprintf("measured per-iteration phase times, p=%d, N=%d", cfg.MaxProcs, cfg.N),
+	}
+	rep.Lines = append(rep.Lines,
+		fmt.Sprintf("%-3s %12s %12s %12s %10s %10s %10s",
+			"FW", "compute(s)", "comm(s)", "spec(s)", "check(s)", "correct(s)", "total(s)"))
+	var rows []Table2Row
+	for _, fw := range []int{0, 1, 2} {
+		results, err := cfg.Run(cfg.MaxProcs, fw, cfg.Theta, nil)
+		if err != nil {
+			return rep, nil, err
+		}
+		agg := core.Aggregate(results)
+		it := float64(cfg.Iters)
+		row := Table2Row{
+			FW:          fw,
+			Computation: agg.MaxCompute / it,
+			Comm:        agg.MaxComm / it,
+			Speculation: agg.MaxSpec / it,
+			Check:       agg.MaxCheck / it,
+			Correct:     agg.MaxCorrect / it,
+			Total:       agg.Total / it,
+		}
+		rows = append(rows, row)
+		rep.Lines = append(rep.Lines,
+			fmt.Sprintf("%-3d %12.3f %12.3f %12.3f %10.3f %10.3f %10.3f",
+				row.FW, row.Computation, row.Comm, row.Speculation, row.Check, row.Correct, row.Total))
+	}
+	rep.Lines = append(rep.Lines,
+		"paper (16 procs, 1000 particles): FW=0: 5.83/4.73/0/0 → 10.56; FW=1: 5.85/1.43/0.2/1.02 → 8.52; FW=2: 5.82/0.22/0.3/1.5 → 7.79")
+	return rep, rows, nil
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+
+	"specomp/internal/nbody"
+)
+
+// Table3Row is one θ setting's accuracy outcome, matching the paper's
+// Table 3 columns.
+type Table3Row struct {
+	Theta        float64
+	IncorrectPct float64 // % of eq.-11 pair checks out of tolerance
+	MaxForceErr  float64 // max relative force error among accepted checks
+}
+
+// Table3 reproduces the paper's Table 3: the effect of the error threshold θ
+// on the fraction of incorrect speculations and on the worst force error
+// that survives in accepted computations. Run at 8 processors, as the
+// paper's accompanying discussion uses.
+func Table3(cfg NBodyConfig) (Report, []Table3Row, error) {
+	rep := Report{
+		ID:    "table3",
+		Title: fmt.Sprintf("effect of error bound θ (N=%d, FW=1)", cfg.N),
+	}
+	p := 8
+	if p > cfg.MaxProcs {
+		p = cfg.MaxProcs
+	}
+	thetas := []float64{0.1, 0.05, 0.01, 0.005, 0.001}
+	rep.Lines = append(rep.Lines,
+		fmt.Sprintf("%-8s %22s %18s", "θ", "incorrect specs (%)", "max force err (%)"))
+	var rows []Table3Row
+	for _, th := range thetas {
+		instr := &nbody.Instrument{}
+		if _, err := cfg.Run(p, 1, th, instr); err != nil {
+			return rep, nil, err
+		}
+		incorrect := 0.0
+		if instr.PairsTotal > 0 {
+			incorrect = 100 * float64(instr.PairsBad) / float64(instr.PairsTotal)
+		}
+		row := Table3Row{Theta: th, IncorrectPct: incorrect, MaxForceErr: instr.MaxForceErr * 100}
+		rows = append(rows, row)
+		rep.Lines = append(rep.Lines,
+			fmt.Sprintf("%-8g %22.3f %18.3f", row.Theta, row.IncorrectPct, row.MaxForceErr))
+	}
+	rep.Lines = append(rep.Lines,
+		"paper: θ=0.1 → <1% / 20%;  θ=0.01 → 2% / 2%;  θ=0.001 → 20% / 0.2%")
+	return rep, rows, nil
+}

@@ -1,0 +1,68 @@
+// Package history provides fixed-capacity ring buffers holding the most
+// recent snapshots of a peer's variables — the storage behind the paper's
+// backward window (BW): "the maximum number of past values of the variables
+// used in the speculation function".
+package history
+
+// Ring is a bounded history of snapshots. The zero value is unusable; create
+// one with NewRing. Pushing beyond capacity discards the oldest snapshot.
+type Ring[T any] struct {
+	buf   []T
+	start int // index of oldest element
+	n     int
+}
+
+// NewRing creates a ring holding up to capacity snapshots.
+func NewRing[T any](capacity int) *Ring[T] {
+	if capacity <= 0 {
+		panic("history: capacity must be positive")
+	}
+	return &Ring[T]{buf: make([]T, capacity)}
+}
+
+// Cap returns the ring's capacity (the backward window size).
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Len returns the number of snapshots currently stored.
+func (r *Ring[T]) Len() int { return r.n }
+
+// Push appends a snapshot as the newest entry, evicting the oldest if full.
+func (r *Ring[T]) Push(v T) {
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = v
+		r.n++
+		return
+	}
+	r.buf[r.start] = v
+	r.start = (r.start + 1) % len(r.buf)
+}
+
+// At returns the snapshot `back` steps into the past: At(0) is the newest,
+// At(Len()-1) the oldest. It panics if back is out of range.
+func (r *Ring[T]) At(back int) T {
+	if back < 0 || back >= r.n {
+		panic("history: At out of range")
+	}
+	idx := (r.start + r.n - 1 - back) % len(r.buf)
+	return r.buf[idx]
+}
+
+// NewestFirst returns the stored snapshots ordered newest first, which is the
+// convention the predict package uses (hist[0] = x(t−1), hist[1] = x(t−2)…).
+// The returned slice is freshly allocated.
+func (r *Ring[T]) NewestFirst() []T {
+	out := make([]T, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.At(i)
+	}
+	return out
+}
+
+// Reset empties the ring without reallocating.
+func (r *Ring[T]) Reset() {
+	var zero T
+	for i := range r.buf {
+		r.buf[i] = zero
+	}
+	r.start, r.n = 0, 0
+}

@@ -1,0 +1,263 @@
+package nbody
+
+import (
+	"math"
+
+	"specomp/internal/core"
+)
+
+// Instrument collects off-the-clock diagnostics while an App runs — the
+// measurements behind Table 3. It is shared by all processors of one
+// simulation; the DES schedules at most one simulated process at a time, so
+// no locking is needed.
+type Instrument struct {
+	// MaxForceErr is the largest relative error between the pair force
+	// computed from a speculated position and from the actual position,
+	// over pairs whose eq.-11 check ACCEPTED the speculation (failed pairs
+	// are repaired, so their error does not survive). This matches the
+	// paper's per-pair correction semantics.
+	MaxForceErr float64
+	// ChecksAccepted and ChecksFailed count message-level validations.
+	ChecksAccepted, ChecksFailed int
+	// PairsBad and PairsTotal count eq.-11 pair tests.
+	PairsBad, PairsTotal int64
+}
+
+// App adapts the N-body simulation to the speculative engine: one instance
+// runs on each simulated processor, owning a contiguous block of particles.
+type App struct {
+	sim    Sim
+	pid    int
+	nTotal int
+	init   []Particle
+	// Theta is the eq.-11 error threshold θ.
+	Theta float64
+	// SpecOrder selects the speculation function: 1 (default) is the
+	// paper's eq. 10 (constant velocity); 2 adds the acceleration estimated
+	// from the last two snapshots — the higher-order-derivative extension
+	// the paper leaves as future work.
+	SpecOrder int
+	// MAC, when positive, switches the force kernel from the O(N²) direct
+	// sum to the Barnes-Hut O(N log N) tree with this opening angle (the
+	// paper's footnote-1 variant).
+	MAC float64
+	// Adapt, if non-nil, tunes Theta at run time toward a target
+	// recomputation rate.
+	Adapt *AdaptiveTheta
+	// Instr, if non-nil, records accuracy diagnostics (not charged to the
+	// simulated clock).
+	Instr *Instrument
+}
+
+// AdaptiveTheta adjusts θ multiplicatively after every check so that the
+// fraction of out-of-tolerance pairs tracks TargetBadFrac — automating the
+// accuracy/recomputation trade-off of Table 3.
+type AdaptiveTheta struct {
+	// TargetBadFrac is the desired fraction of bad pairs per check (the
+	// model's k; the paper found ~2% a good operating point).
+	TargetBadFrac float64
+	// Gain is the multiplicative step per check (e.g. 0.05 → ±5%).
+	Gain float64
+	// MinTheta and MaxTheta clamp the excursion.
+	MinTheta, MaxTheta float64
+}
+
+// adjust nudges theta toward the target bad fraction.
+func (ad *AdaptiveTheta) adjust(theta float64, bad, total int) float64 {
+	if total == 0 || ad.Gain <= 0 {
+		return theta
+	}
+	if float64(bad)/float64(total) > ad.TargetBadFrac {
+		theta *= 1 + ad.Gain // too many repairs: loosen
+	} else {
+		theta *= 1 - ad.Gain // headroom: tighten for accuracy
+	}
+	if ad.MinTheta > 0 && theta < ad.MinTheta {
+		theta = ad.MinTheta
+	}
+	if ad.MaxTheta > 0 && theta > ad.MaxTheta {
+		theta = ad.MaxTheta
+	}
+	return theta
+}
+
+// NewApp creates the processor-pid adapter. local is the block of particles
+// this processor owns; nTotal is the global particle count.
+func NewApp(sim Sim, local []Particle, nTotal, pid int, theta float64, instr *Instrument) *App {
+	return &App{sim: sim, pid: pid, nTotal: nTotal, init: local, Theta: theta, Instr: instr}
+}
+
+var _ core.App = (*App)(nil)
+var _ core.Speculator = (*App)(nil)
+
+// InitLocal implements core.App.
+func (a *App) InitLocal() []float64 { return Encode(a.init) }
+
+// Compute implements core.App: decode the global view, accumulate forces on
+// the local block (direct sum, or Barnes-Hut when MAC > 0), and advance it
+// one timestep.
+func (a *App) Compute(view [][]float64, t int) []float64 {
+	local := Decode(view[a.pid])
+	if a.MAC > 0 {
+		var all []Particle
+		for _, part := range view {
+			if len(part) > 0 {
+				all = append(all, Decode(part)...)
+			}
+		}
+		tree := BuildOctree(all)
+		acc, _ := a.sim.AccelOnTree(local, tree, a.MAC)
+		return Encode(a.sim.Step(local, acc))
+	}
+	sources := make([][]Particle, 0, len(view))
+	for _, part := range view {
+		if len(part) == 0 {
+			continue
+		}
+		sources = append(sources, Decode(part))
+	}
+	acc := a.sim.AccelOn(local, sources...)
+	return Encode(a.sim.Step(local, acc))
+}
+
+// ComputeOps implements core.App: N_i·N pairwise force evaluations for the
+// direct sum; N_i·O(log N/θ²) plus the tree build for Barnes-Hut.
+func (a *App) ComputeOps() float64 {
+	if a.MAC > 0 {
+		interactions := float64(len(a.init)) * BHOpsEstimate(a.nTotal, a.MAC)
+		build := 10 * float64(a.nTotal) * math.Log2(float64(a.nTotal)+2)
+		return interactions*PairOps + build
+	}
+	return float64(len(a.init)) * float64(a.nTotal) * PairOps
+}
+
+// Speculate implements core.Speculator with the paper's eq. 10: positions
+// extrapolate along the last known velocity, r*(t) = r(t−s) + v(t−s)·s·Δt,
+// velocities are held constant. With SpecOrder >= 2 and at least two
+// snapshots of history, the acceleration estimated from consecutive
+// velocities is added: r* += ½·a·(s·Δt)², v* += a·s·Δt.
+func (a *App) Speculate(peer int, hist [][]float64, steps int) ([]float64, float64) {
+	ps := Decode(hist[0])
+	out := make([]Particle, len(ps))
+	dt := a.sim.Dt * float64(steps)
+	var prev []Particle
+	secondOrder := a.SpecOrder >= 2 && len(hist) >= 2
+	if secondOrder {
+		prev = Decode(hist[1])
+		if len(prev) != len(ps) {
+			secondOrder = false
+		}
+	}
+	for i, p := range ps {
+		pos := p.Pos.Add(p.Vel.Scale(dt))
+		vel := p.Vel
+		if secondOrder {
+			acc := p.Vel.Sub(prev[i].Vel).Scale(1 / a.sim.Dt)
+			pos = pos.Add(acc.Scale(0.5 * dt * dt))
+			vel = vel.Add(acc.Scale(dt))
+		}
+		out[i] = Particle{Mass: p.Mass, Pos: pos, Vel: vel}
+	}
+	ops := float64(SpecOpsPerParticle * len(ps))
+	if secondOrder {
+		ops *= 2 // roughly double the flops per particle
+	}
+	return Encode(out), ops
+}
+
+// Check implements core.App with the paper's eq. 11: for each remote
+// particle a and local particle b, the speculation is acceptable when
+// ‖r*_a − r_a‖ / ‖r_a − r_b‖ ≤ θ.
+func (a *App) Check(peer int, predicted, actual, local []float64, t int) core.CheckResult {
+	pred := Decode(predicted)
+	act := Decode(actual)
+	loc := Decode(local)
+	bad := 0
+	for i := range act {
+		specErr := pred[i].Pos.Sub(act[i].Pos).Norm()
+		for j := range loc {
+			// eq. 11: the ratio diverges as pairs get close — exactly where
+			// a position error corrupts the force most, so close pairs are
+			// (correctly) the first to fail the check.
+			dist := act[i].Pos.Sub(loc[j].Pos).Norm()
+			if dist == 0 || specErr/dist > a.Theta {
+				bad++
+				continue
+			}
+			if a.Instr != nil {
+				// Accepted pair: its force error survives in the result.
+				fs := a.sim.PairAccel(loc[j].Pos, pred[i].Pos, pred[i].Mass)
+				fa := a.sim.PairAccel(loc[j].Pos, act[i].Pos, act[i].Mass)
+				if den := fa.Norm(); den > 0 {
+					if rel := fs.Sub(fa).Norm() / den; rel > a.Instr.MaxForceErr {
+						a.Instr.MaxForceErr = rel
+					}
+				}
+			}
+		}
+	}
+	total := len(act) * len(loc)
+	res := core.CheckResult{
+		Bad:   bad,
+		Total: total,
+		Ops:   float64(CheckOpsPerRemote*len(act)) + float64(CheckOpsPerPair*total),
+	}
+	if a.Instr != nil {
+		a.Instr.PairsBad += int64(res.Bad)
+		a.Instr.PairsTotal += int64(res.Total)
+		if res.Bad > 0 {
+			a.Instr.ChecksFailed++
+		} else {
+			a.Instr.ChecksAccepted++
+		}
+	}
+	if a.Adapt != nil {
+		a.Theta = a.Adapt.adjust(a.Theta, res.Bad, res.Total)
+	}
+	return res
+}
+
+// RepairOps implements core.App: each out-of-tolerance pair costs two pair
+// force evaluations (subtract the speculated contribution, add the actual).
+func (a *App) RepairOps(r core.CheckResult) float64 {
+	return float64(2 * PairOps * r.Bad)
+}
+
+// SplitParticles cuts a particle set into consecutive blocks of the given
+// sizes (e.g. from partition.Proportional). It panics if the sizes do not
+// sum to len(ps).
+func SplitParticles(ps []Particle, counts []int) [][]Particle {
+	out := make([][]Particle, len(counts))
+	lo := 0
+	for i, c := range counts {
+		out[i] = ps[lo : lo+c]
+		lo += c
+	}
+	if lo != len(ps) {
+		panic("nbody: partition sizes do not sum to particle count")
+	}
+	return out
+}
+
+// MaxPairwiseRelErr returns the maximum relative position error between two
+// particle sets, a convenience for comparing speculative and reference runs.
+func MaxPairwiseRelErr(a, b []Particle) float64 {
+	worst := 0.0
+	for i := range a {
+		if i >= len(b) {
+			break
+		}
+		d := a[i].Pos.Sub(b[i].Pos).Norm()
+		scale := b[i].Pos.Norm()
+		if scale < 1e-12 {
+			scale = 1e-12
+		}
+		if r := d / scale; r > worst {
+			worst = r
+		}
+	}
+	if math.IsNaN(worst) {
+		return math.Inf(1)
+	}
+	return worst
+}

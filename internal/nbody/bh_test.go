@@ -1,0 +1,170 @@
+package nbody
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"specomp/internal/cluster"
+	"specomp/internal/core"
+	"specomp/internal/netmodel"
+)
+
+func TestOctreeMassAndCOMProperty(t *testing.T) {
+	f := func(n8 uint8, seed int64) bool {
+		n := int(n8%60) + 2
+		ps := UniformSphere(n, seed)
+		tree := BuildOctree(ps)
+		var mass float64
+		var weighted Vec3
+		for _, p := range ps {
+			mass += p.Mass
+			weighted = weighted.Add(p.Pos.Scale(p.Mass))
+		}
+		com := weighted.Scale(1 / mass)
+		if math.Abs(tree.Mass()-mass) > 1e-9*mass {
+			return false
+		}
+		return tree.COM().Sub(com).Norm() < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOctreeExactAtZeroMAC(t *testing.T) {
+	s := DefaultSim()
+	ps := UniformSphere(80, 5)
+	tree := BuildOctree(ps)
+	direct := s.AccelOn(ps, ps)
+	for i := range ps {
+		a, _ := tree.Accel(s, ps[i].Pos, 0)
+		if a.Sub(direct[i]).Norm() > 1e-9*(1+direct[i].Norm()) {
+			t.Fatalf("particle %d: tree %v vs direct %v", i, a, direct[i])
+		}
+	}
+}
+
+func TestOctreeAccuracyAtModerateMAC(t *testing.T) {
+	s := DefaultSim()
+	ps := UniformSphere(300, 6)
+	tree := BuildOctree(ps)
+	direct := s.AccelOn(ps, ps)
+	worst, sumSq := 0.0, 0.0
+	for i := range ps {
+		a, _ := tree.Accel(s, ps[i].Pos, 0.5)
+		rel := a.Sub(direct[i]).Norm() / (direct[i].Norm() + 1e-12)
+		sumSq += rel * rel
+		if rel > worst {
+			worst = rel
+		}
+	}
+	rms := math.Sqrt(sumSq / float64(len(ps)))
+	// Standard Barnes-Hut accuracy at θ=0.5: ~1% RMS with occasional
+	// worst-case outliers on near-cancelling forces.
+	if rms > 0.02 {
+		t.Errorf("RMS relative error %.4f at MAC 0.5, want < 2%%", rms)
+	}
+	if worst > 0.12 {
+		t.Errorf("worst relative error %.3f at MAC 0.5, want < 12%%", worst)
+	}
+}
+
+func TestOctreeInteractionCountShrinks(t *testing.T) {
+	s := DefaultSim()
+	ps := UniformSphere(600, 7)
+	tree := BuildOctree(ps)
+	_, exact := s.AccelOnTree(ps, tree, 0)
+	_, approx := s.AccelOnTree(ps, tree, 0.7)
+	if approx >= exact/2 {
+		t.Errorf("BH interactions %d not well below direct %d", approx, exact)
+	}
+}
+
+func TestOctreeHandlesCoincidentParticles(t *testing.T) {
+	ps := []Particle{
+		{Mass: 1, Pos: Vec3{0.5, 0.5, 0.5}},
+		{Mass: 2, Pos: Vec3{0.5, 0.5, 0.5}}, // exactly coincident
+		{Mass: 1, Pos: Vec3{-0.5, 0, 0}},
+	}
+	tree := BuildOctree(ps)
+	if math.Abs(tree.Mass()-4) > 1e-12 {
+		t.Errorf("mass = %v, want 4", tree.Mass())
+	}
+	s := DefaultSim()
+	a, _ := tree.Accel(s, Vec3{-0.5, 0, 0}, 0.5)
+	if a.Norm() == 0 || math.IsNaN(a.Norm()) {
+		t.Errorf("acceleration near coincident pair: %v", a)
+	}
+}
+
+func TestBuildOctreePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	BuildOctree(nil)
+}
+
+func TestBHOpsEstimateMonotonic(t *testing.T) {
+	if BHOpsEstimate(1000, 0.5) >= 1000 {
+		t.Error("BH estimate should undercut the direct sum at n=1000")
+	}
+	if BHOpsEstimate(1000, 0.3) <= BHOpsEstimate(1000, 0.7) {
+		t.Error("smaller opening angle should cost more")
+	}
+	if BHOpsEstimate(10, 0) != 10 {
+		t.Error("mac=0 estimate should be n")
+	}
+	if BHOpsEstimate(1, 0.5) != 1 {
+		t.Error("n=1 estimate")
+	}
+}
+
+func TestDistributedBHMatchesDirectClosely(t *testing.T) {
+	const n, iters = 64, 10
+	ps := UniformSphere(n, 9)
+	run := func(mac float64) []Particle {
+		counts := []int{16, 16, 16, 16}
+		blocks := SplitParticles(ps, counts)
+		sim := DefaultSim()
+		results, err := core.RunCluster(
+			cluster.Config{Machines: cluster.UniformMachines(4, 1e6), Net: netmodel.Fixed{D: 0.02}},
+			core.Config{FW: 0, MaxIter: iters},
+			func(p *cluster.Proc) core.App {
+				app := NewApp(sim, blocks[p.ID()], n, p.ID(), 0.01, nil)
+				app.MAC = mac
+				return app
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []Particle
+		for _, r := range results {
+			out = append(out, Decode(r.Final)...)
+		}
+		return out
+	}
+	direct := run(0)
+	bh := run(0.4)
+	if err := MaxPairwiseRelErr(bh, direct); err > 0.02 {
+		t.Errorf("BH trajectory drifted %.4f from direct", err)
+	}
+}
+
+func BenchmarkDirectVsBH(b *testing.B) {
+	s := DefaultSim()
+	ps := UniformSphere(1500, 10)
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.AccelOn(ps, ps)
+		}
+	})
+	b.Run("barnes-hut", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tree := BuildOctree(ps)
+			s.AccelOnTree(ps, tree, 0.6)
+		}
+	})
+}

@@ -1,0 +1,41 @@
+package nbody
+
+import "math"
+
+// Kinetic returns the total kinetic energy ½Σ m·v².
+func Kinetic(ps []Particle) float64 {
+	var e float64
+	for _, p := range ps {
+		e += 0.5 * p.Mass * p.Vel.Norm2()
+	}
+	return e
+}
+
+// Potential returns the total (softened) gravitational potential energy
+// −G·Σ_{i<j} m_i·m_j / sqrt(r² + ε²).
+func (s Sim) Potential(ps []Particle) float64 {
+	var e float64
+	for i := range ps {
+		for j := i + 1; j < len(ps); j++ {
+			r2 := ps[j].Pos.Sub(ps[i].Pos).Norm2() + s.Soft*s.Soft
+			e -= s.G * ps[i].Mass * ps[j].Mass / math.Sqrt(r2)
+		}
+	}
+	return e
+}
+
+// Energy returns the total energy (kinetic + potential), the standard
+// long-horizon accuracy diagnostic for an N-body integrator.
+func (s Sim) Energy(ps []Particle) float64 {
+	return Kinetic(ps) + s.Potential(ps)
+}
+
+// Momentum returns the total linear momentum Σ m·v, conserved exactly by
+// pairwise-symmetric forces.
+func Momentum(ps []Particle) Vec3 {
+	var m Vec3
+	for _, p := range ps {
+		m = m.Add(p.Vel.Scale(p.Mass))
+	}
+	return m
+}

@@ -1,0 +1,71 @@
+package nbody
+
+import "math"
+
+// Sim holds the physical constants of a simulation.
+type Sim struct {
+	// G is the gravitational constant (model units; 1 by default).
+	G float64
+	// Soft is the Plummer softening length added to pair distances to bound
+	// close-encounter forces (the classical ε in (r²+ε²)^{3/2}).
+	Soft float64
+	// Dt is the timestep Δt.
+	Dt float64
+}
+
+// DefaultSim returns constants suitable for the unit-scale initial
+// conditions in this package.
+func DefaultSim() Sim { return Sim{G: 1, Soft: 0.05, Dt: 1e-3} }
+
+// PairOps is the approximate floating-point cost of one pairwise force
+// evaluation; the paper reports "about 70 floating point operations".
+const PairOps = 70
+
+// SpecOpsPerParticle is the cost of speculating one particle's position
+// (eq. 10); the paper reports 12 flops.
+const SpecOpsPerParticle = 12
+
+// CheckOpsPerPair is the cost of evaluating eq. 11 for one (remote, local)
+// particle pair; derived from the paper's "error checking involves 24
+// operations" split into a per-remote part and a per-pair part.
+const CheckOpsPerPair = 12
+
+// CheckOpsPerRemote is the one-off cost per remote particle of computing the
+// speculation error ‖r*−r‖ used by eq. 11.
+const CheckOpsPerRemote = 10
+
+// PairAccel returns the acceleration exerted on a body at position pos by a
+// body of mass m at position src, using Plummer softening.
+func (s Sim) PairAccel(pos, src Vec3, m float64) Vec3 {
+	d := src.Sub(pos)
+	r2 := d.Norm2() + s.Soft*s.Soft
+	inv := 1.0 / (r2 * math.Sqrt(r2))
+	return d.Scale(s.G * m * inv)
+}
+
+// AccelOn computes the total gravitational acceleration on each particle of
+// `on` due to every particle in each source set. A source particle at the
+// same position as the target (self-interaction when the local set appears
+// among the sources) contributes nothing beyond softening, but the classical
+// formulation excludes exact self-pairs; we skip pairs at zero distance.
+func (s Sim) AccelOn(on []Particle, sources ...[]Particle) []Vec3 {
+	acc := make([]Vec3, len(on))
+	for i := range on {
+		var a Vec3
+		pi := on[i].Pos
+		for _, set := range sources {
+			for j := range set {
+				d := set[j].Pos.Sub(pi)
+				r2 := d.Norm2()
+				if r2 == 0 {
+					continue // self or exactly coincident: skip
+				}
+				r2 += s.Soft * s.Soft
+				inv := 1.0 / (r2 * math.Sqrt(r2))
+				a = a.Add(d.Scale(s.G * set[j].Mass * inv))
+			}
+		}
+		acc[i] = a
+	}
+	return acc
+}

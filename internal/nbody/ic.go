@@ -1,0 +1,76 @@
+package nbody
+
+import (
+	"math"
+	"math/rand"
+)
+
+// UniformSphere generates n particles of equal mass distributed uniformly in
+// a unit sphere with small isotropic random velocities — the generic "cloud"
+// initial condition.
+func UniformSphere(n int, seed int64) []Particle {
+	rng := rand.New(rand.NewSource(seed))
+	ps := make([]Particle, n)
+	for i := range ps {
+		ps[i] = Particle{
+			Mass: 1.0 / float64(n),
+			Pos:  randInSphere(rng, 1.0),
+			Vel:  randInSphere(rng, 0.1),
+		}
+	}
+	return ps
+}
+
+// RotatingDisk generates n particles on a thin disk in the xy-plane with
+// near-circular velocities around a central massive body (particle 0). Disk
+// systems have smoothly varying particle trajectories, the regime where the
+// paper's velocity speculation excels.
+func RotatingDisk(n int, seed int64) []Particle {
+	rng := rand.New(rand.NewSource(seed))
+	ps := make([]Particle, n)
+	const central = 1.0
+	ps[0] = Particle{Mass: central}
+	for i := 1; i < n; i++ {
+		r := 0.3 + 0.7*math.Sqrt(rng.Float64())
+		phi := 2 * math.Pi * rng.Float64()
+		pos := Vec3{r * math.Cos(phi), r * math.Sin(phi), 0.02 * (rng.Float64() - 0.5)}
+		// Circular orbital speed around the central mass (G=1).
+		v := math.Sqrt(central / r)
+		vel := Vec3{-v * math.Sin(phi), v * math.Cos(phi), 0}
+		ps[i] = Particle{Mass: 0.1 / float64(n), Pos: pos, Vel: vel}
+	}
+	return ps
+}
+
+// TwoClusters generates two uniform-sphere clusters approaching each other —
+// an encounter scenario with a mix of slow far-field and fast near-field
+// dynamics that stresses the error-checking machinery.
+func TwoClusters(n int, seed int64) []Particle {
+	rng := rand.New(rand.NewSource(seed))
+	ps := make([]Particle, n)
+	half := n / 2
+	for i := range ps {
+		center := Vec3{-1.5, 0, 0}
+		drift := Vec3{0.3, 0.05, 0}
+		if i >= half {
+			center = Vec3{1.5, 0, 0}
+			drift = Vec3{-0.3, -0.05, 0}
+		}
+		ps[i] = Particle{
+			Mass: 1.0 / float64(n),
+			Pos:  center.Add(randInSphere(rng, 0.5)),
+			Vel:  drift.Add(randInSphere(rng, 0.05)),
+		}
+	}
+	return ps
+}
+
+// randInSphere draws a point uniformly from a ball of the given radius.
+func randInSphere(rng *rand.Rand, radius float64) Vec3 {
+	for {
+		v := Vec3{2*rng.Float64() - 1, 2*rng.Float64() - 1, 2*rng.Float64() - 1}
+		if v.Norm2() <= 1 {
+			return v.Scale(radius)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package nbody
+
+// Step advances particles one timestep with symplectic (semi-implicit)
+// Euler: v(t+1) = v(t) + a(t)·Δt, then r(t+1) = r(t) + v(t+1)·Δt. acc must
+// hold the acceleration on each particle at time t. The input slice is not
+// modified; the advanced particles are returned.
+func (s Sim) Step(ps []Particle, acc []Vec3) []Particle {
+	out := make([]Particle, len(ps))
+	for i, p := range ps {
+		v := p.Vel.Add(acc[i].Scale(s.Dt))
+		out[i] = Particle{
+			Mass: p.Mass,
+			Vel:  v,
+			Pos:  p.Pos.Add(v.Scale(s.Dt)),
+		}
+	}
+	return out
+}
+
+// StepAll advances a whole particle set one timestep using exact
+// all-pairs forces — the serial reference implementation.
+func (s Sim) StepAll(ps []Particle) []Particle {
+	return s.Step(ps, s.AccelOn(ps, ps))
+}
+
+// Evolve runs the serial reference simulation for iters timesteps.
+func (s Sim) Evolve(ps []Particle, iters int) []Particle {
+	cur := ps
+	for t := 0; t < iters; t++ {
+		cur = s.StepAll(cur)
+	}
+	return cur
+}
+
+// StepKDK advances the whole particle set one timestep with the
+// kick-drift-kick leapfrog, the standard second-order symplectic scheme for
+// collisionless N-body work. It needs two force evaluations per step but
+// halves neither accuracy nor stability the way first-order schemes do;
+// provided as the higher-accuracy serial reference.
+func (s Sim) StepKDK(ps []Particle) []Particle {
+	half := s.Dt / 2
+	acc := s.AccelOn(ps, ps)
+	mid := make([]Particle, len(ps))
+	for i, p := range ps {
+		v := p.Vel.Add(acc[i].Scale(half))
+		mid[i] = Particle{Mass: p.Mass, Vel: v, Pos: p.Pos.Add(v.Scale(s.Dt))}
+	}
+	acc2 := s.AccelOn(mid, mid)
+	out := make([]Particle, len(ps))
+	for i, p := range mid {
+		out[i] = Particle{Mass: p.Mass, Pos: p.Pos, Vel: p.Vel.Add(acc2[i].Scale(half))}
+	}
+	return out
+}
+
+// EvolveKDK runs the kick-drift-kick reference for iters timesteps.
+func (s Sim) EvolveKDK(ps []Particle, iters int) []Particle {
+	cur := ps
+	for t := 0; t < iters; t++ {
+		cur = s.StepKDK(cur)
+	}
+	return cur
+}

@@ -1,0 +1,43 @@
+package nbody
+
+// Particle is one body: mass, position and velocity. The paper's messages
+// carry exactly this state ("the current position and velocity of all its
+// particles"), which is also what the speculation function consumes.
+type Particle struct {
+	Mass float64
+	Pos  Vec3
+	Vel  Vec3
+}
+
+// Floats is the number of float64 values one particle encodes to.
+const Floats = 7
+
+// Encode flattens particles into a float64 slice (mass, pos, vel per
+// particle), the wire format used on the simulated cluster.
+func Encode(ps []Particle) []float64 {
+	out := make([]float64, 0, len(ps)*Floats)
+	for _, p := range ps {
+		out = append(out, p.Mass,
+			p.Pos.X, p.Pos.Y, p.Pos.Z,
+			p.Vel.X, p.Vel.Y, p.Vel.Z)
+	}
+	return out
+}
+
+// Decode parses a flattened particle slice. It panics if the length is not
+// a multiple of Floats.
+func Decode(data []float64) []Particle {
+	if len(data)%Floats != 0 {
+		panic("nbody: malformed particle data")
+	}
+	ps := make([]Particle, len(data)/Floats)
+	for i := range ps {
+		d := data[i*Floats:]
+		ps[i] = Particle{
+			Mass: d[0],
+			Pos:  Vec3{d[1], d[2], d[3]},
+			Vel:  Vec3{d[4], d[5], d[6]},
+		}
+	}
+	return ps
+}

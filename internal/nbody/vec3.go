@@ -1,0 +1,30 @@
+// Package nbody implements the paper's §5 case study: a direct-summation
+// O(N²) gravitational N-body simulation, together with the speculation
+// adapter (eqs. 10–11) that runs it on the speculative synchronous iterative
+// engine in internal/core.
+package nbody
+
+import "math"
+
+// Vec3 is a 3-component vector.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v − w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns s·v.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{s * v.X, s * v.Y, s * v.Z} }
+
+// Dot returns the dot product v·w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Norm returns |v|.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Norm2 returns |v|².
+func (v Vec3) Norm2() float64 { return v.Dot(v) }

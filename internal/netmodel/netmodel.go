@@ -1,0 +1,162 @@
+// Package netmodel provides communication-delay models for the simulated
+// workstation network.
+//
+// The paper's testbed was a shared 10 Mb/s Ethernet under PVM, where message
+// latency has a fixed protocol overhead, a bandwidth term, contention with
+// other traffic, and occasional large transient spikes. Each of those effects
+// is available here as a composable Model.
+package netmodel
+
+import "math/rand"
+
+// Msg describes a message for delay computation.
+type Msg struct {
+	Src   int     // sending processor index
+	Dst   int     // receiving processor index
+	Bytes int     // payload size in bytes
+	Procs int     // number of processors participating in the run (p)
+	Now   float64 // virtual send time in seconds
+}
+
+// Model computes the end-to-end latency of a message. Implementations may be
+// stateful (e.g. a shared bus tracks when the medium frees up); a Model
+// instance must not be shared between concurrent simulations.
+type Model interface {
+	Delay(msg Msg, rng *rand.Rand) float64
+}
+
+// Func adapts a plain function to a Model.
+type Func func(msg Msg, rng *rand.Rand) float64
+
+// Delay implements Model.
+func (f Func) Delay(msg Msg, rng *rand.Rand) float64 { return f(msg, rng) }
+
+// Fixed is a constant point-to-point latency, the simplest instantiation of
+// the paper's "communication time assumed constant over all processors".
+type Fixed struct {
+	D float64 // seconds
+}
+
+// Delay implements Model.
+func (m Fixed) Delay(Msg, *rand.Rand) float64 { return m.D }
+
+// Bandwidth models a dedicated link: fixed per-message overhead plus a
+// transfer time proportional to message size.
+type Bandwidth struct {
+	Overhead    float64 // per-message fixed cost, seconds
+	BytesPerSec float64 // link bandwidth
+}
+
+// Delay implements Model.
+func (m Bandwidth) Delay(msg Msg, _ *rand.Rand) float64 {
+	d := m.Overhead
+	if m.BytesPerSec > 0 {
+		d += float64(msg.Bytes) / m.BytesPerSec
+	}
+	return d
+}
+
+// LinearP reproduces the §4 model assumption that per-iteration communication
+// time grows linearly with the number of processors:
+//
+//	delay = Base + PerProc·(p−1)
+type LinearP struct {
+	Base    float64
+	PerProc float64
+}
+
+// Delay implements Model.
+func (m LinearP) Delay(msg Msg, _ *rand.Rand) float64 {
+	return m.Base + m.PerProc*float64(msg.Procs-1)
+}
+
+// SharedBus models an Ethernet-like shared medium: every message occupies the
+// bus for Overhead + Bytes/BytesPerSec seconds, and messages serialize, so
+// latency includes queueing behind earlier traffic. This is the contention
+// the paper identifies as the main source of model error beyond 8 processors.
+type SharedBus struct {
+	Overhead    float64 // per-message medium occupancy overhead, seconds
+	BytesPerSec float64 // bus bandwidth
+	// HostOverhead is additional end-host (protocol stack) latency that does
+	// not occupy the shared medium.
+	HostOverhead float64
+
+	busyUntil float64
+}
+
+// Delay implements Model.
+func (m *SharedBus) Delay(msg Msg, _ *rand.Rand) float64 {
+	occupancy := m.Overhead
+	if m.BytesPerSec > 0 {
+		occupancy += float64(msg.Bytes) / m.BytesPerSec
+	}
+	start := msg.Now
+	if m.busyUntil > start {
+		start = m.busyUntil
+	}
+	m.busyUntil = start + occupancy
+	return m.busyUntil - msg.Now + m.HostOverhead
+}
+
+// Reset clears the bus state so the model can be reused for a fresh run.
+func (m *SharedBus) Reset() { m.busyUntil = 0 }
+
+// Jitter wraps a model and scales each delay by a factor drawn uniformly
+// from [1−Frac, 1+Frac], modeling background network traffic variation.
+type Jitter struct {
+	Inner Model
+	Frac  float64 // 0 ≤ Frac < 1
+}
+
+// Delay implements Model.
+func (m Jitter) Delay(msg Msg, rng *rand.Rand) float64 {
+	base := m.Inner.Delay(msg, rng)
+	if m.Frac <= 0 {
+		return base
+	}
+	return base * (1 + m.Frac*(2*rng.Float64()-1))
+}
+
+// RandomSpikes wraps a model and, with probability Prob per message, adds a
+// uniform extra delay in [ExtraMin, ExtraMax] — the heavy-tailed behaviour
+// of a timeshared workstation network where "messages may occasionally
+// experience excessive delays due to network traffic".
+type RandomSpikes struct {
+	Inner    Model
+	Prob     float64
+	ExtraMin float64
+	ExtraMax float64
+}
+
+// Delay implements Model.
+func (m RandomSpikes) Delay(msg Msg, rng *rand.Rand) float64 {
+	d := m.Inner.Delay(msg, rng)
+	if m.Prob > 0 && rng.Float64() < m.Prob {
+		d += m.ExtraMin + (m.ExtraMax-m.ExtraMin)*rng.Float64()
+	}
+	return d
+}
+
+// TransientSpike wraps a model and adds Extra seconds of latency to messages
+// on a given path within a time window — the "excessive but transient delay
+// along one communication path" of Figure 4. Src or Dst of −1 matches any
+// processor.
+type TransientSpike struct {
+	Inner Model
+	Src   int
+	Dst   int
+	From  float64 // window start (inclusive)
+	Until float64 // window end (exclusive)
+	Extra float64
+}
+
+// Delay implements Model.
+func (m TransientSpike) Delay(msg Msg, rng *rand.Rand) float64 {
+	d := m.Inner.Delay(msg, rng)
+	if (m.Src == -1 || msg.Src == m.Src) &&
+		(m.Dst == -1 || msg.Dst == m.Dst) &&
+		msg.Now >= m.From && msg.Now < m.Until {
+		d += m.Extra
+	}
+	return d
+}

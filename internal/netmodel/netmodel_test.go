@@ -1,0 +1,162 @@
+package netmodel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFixed(t *testing.T) {
+	m := Fixed{D: 0.5}
+	if got := m.Delay(Msg{Bytes: 9999}, nil); got != 0.5 {
+		t.Errorf("Delay = %g, want 0.5", got)
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	m := Bandwidth{Overhead: 0.01, BytesPerSec: 1000}
+	if got := m.Delay(Msg{Bytes: 500}, nil); got != 0.51 {
+		t.Errorf("Delay = %g, want 0.51", got)
+	}
+	// Zero bandwidth means overhead only.
+	m2 := Bandwidth{Overhead: 0.02}
+	if got := m2.Delay(Msg{Bytes: 500}, nil); got != 0.02 {
+		t.Errorf("Delay = %g, want 0.02", got)
+	}
+}
+
+func TestLinearP(t *testing.T) {
+	m := LinearP{Base: 0.1, PerProc: 0.05}
+	if got := m.Delay(Msg{Procs: 1}, nil); got != 0.1 {
+		t.Errorf("p=1 Delay = %g, want 0.1", got)
+	}
+	if got := m.Delay(Msg{Procs: 16}, nil); got != 0.1+0.05*15 {
+		t.Errorf("p=16 Delay = %g, want %g", got, 0.1+0.05*15)
+	}
+}
+
+func TestSharedBusSerializes(t *testing.T) {
+	m := &SharedBus{Overhead: 1, BytesPerSec: 0}
+	// Three messages sent at the same instant queue behind each other.
+	d1 := m.Delay(Msg{Now: 0}, nil)
+	d2 := m.Delay(Msg{Now: 0}, nil)
+	d3 := m.Delay(Msg{Now: 0}, nil)
+	if d1 != 1 || d2 != 2 || d3 != 3 {
+		t.Errorf("delays = %g %g %g, want 1 2 3", d1, d2, d3)
+	}
+	// After the bus drains, a later message sees no queueing.
+	d4 := m.Delay(Msg{Now: 10}, nil)
+	if d4 != 1 {
+		t.Errorf("post-drain delay = %g, want 1", d4)
+	}
+}
+
+func TestSharedBusHostOverheadNotSerialized(t *testing.T) {
+	m := &SharedBus{Overhead: 1, HostOverhead: 0.5}
+	d1 := m.Delay(Msg{Now: 0}, nil)
+	d2 := m.Delay(Msg{Now: 0}, nil)
+	if d1 != 1.5 || d2 != 2.5 {
+		t.Errorf("delays = %g %g, want 1.5 2.5", d1, d2)
+	}
+}
+
+func TestSharedBusReset(t *testing.T) {
+	m := &SharedBus{Overhead: 1}
+	m.Delay(Msg{Now: 0}, nil)
+	m.Reset()
+	if got := m.Delay(Msg{Now: 0}, nil); got != 1 {
+		t.Errorf("after Reset delay = %g, want 1", got)
+	}
+}
+
+func TestJitterBoundsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(frac8 uint8, base8 uint8) bool {
+		frac := float64(frac8%90) / 100 // [0, 0.9)
+		base := 0.001 + float64(base8)/100
+		m := Jitter{Inner: Fixed{D: base}, Frac: frac}
+		for i := 0; i < 50; i++ {
+			d := m.Delay(Msg{}, rng)
+			if d < base*(1-frac)-1e-12 || d > base*(1+frac)+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJitterZeroFracIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := Jitter{Inner: Fixed{D: 2}, Frac: 0}
+	if got := m.Delay(Msg{}, rng); got != 2 {
+		t.Errorf("Delay = %g, want 2", got)
+	}
+}
+
+func TestRandomSpikes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := RandomSpikes{Inner: Fixed{D: 1}, Prob: 0.25, ExtraMin: 5, ExtraMax: 9}
+	spiked, total := 0, 2000
+	for i := 0; i < total; i++ {
+		d := m.Delay(Msg{}, rng)
+		if d < 1 {
+			t.Fatalf("delay %g below base", d)
+		}
+		if d > 1 {
+			if d < 6 || d > 10 {
+				t.Fatalf("spiked delay %g outside [6, 10]", d)
+			}
+			spiked++
+		}
+	}
+	frac := float64(spiked) / float64(total)
+	if frac < 0.2 || frac > 0.3 {
+		t.Errorf("spike fraction %.3f, want ~0.25", frac)
+	}
+	// Prob=0 is the identity.
+	m0 := RandomSpikes{Inner: Fixed{D: 2}, Prob: 0}
+	if got := m0.Delay(Msg{}, rng); got != 2 {
+		t.Errorf("Prob=0 delay = %g, want 2", got)
+	}
+}
+
+func TestTransientSpike(t *testing.T) {
+	m := TransientSpike{
+		Inner: Fixed{D: 1},
+		Src:   0, Dst: 1,
+		From: 10, Until: 20,
+		Extra: 5,
+	}
+	cases := []struct {
+		msg  Msg
+		want float64
+	}{
+		{Msg{Src: 0, Dst: 1, Now: 15}, 6}, // in window, on path
+		{Msg{Src: 0, Dst: 1, Now: 5}, 1},  // before window
+		{Msg{Src: 0, Dst: 1, Now: 20}, 1}, // at window end (exclusive)
+		{Msg{Src: 1, Dst: 0, Now: 15}, 1}, // wrong direction
+		{Msg{Src: 0, Dst: 2, Now: 15}, 1}, // wrong destination
+	}
+	for i, c := range cases {
+		if got := m.Delay(c.msg, nil); got != c.want {
+			t.Errorf("case %d: Delay = %g, want %g", i, got, c.want)
+		}
+	}
+}
+
+func TestTransientSpikeWildcards(t *testing.T) {
+	m := TransientSpike{Inner: Fixed{D: 1}, Src: -1, Dst: -1, From: 0, Until: 100, Extra: 2}
+	if got := m.Delay(Msg{Src: 7, Dst: 3, Now: 50}, nil); got != 3 {
+		t.Errorf("Delay = %g, want 3", got)
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	m := Func(func(msg Msg, _ *rand.Rand) float64 { return float64(msg.Bytes) })
+	if got := m.Delay(Msg{Bytes: 42}, nil); got != 42 {
+		t.Errorf("Delay = %g, want 42", got)
+	}
+}

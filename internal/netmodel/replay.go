@@ -1,0 +1,43 @@
+package netmodel
+
+import "math/rand"
+
+// Recorder wraps a model and logs every delay it produces, so a stochastic
+// run can be replayed exactly (regression tests, debugging a rare ordering).
+type Recorder struct {
+	Inner Model
+	Log   []float64
+}
+
+// Delay implements Model.
+func (r *Recorder) Delay(msg Msg, rng *rand.Rand) float64 {
+	d := r.Inner.Delay(msg, rng)
+	r.Log = append(r.Log, d)
+	return d
+}
+
+// Replay feeds back a recorded delay log in order. Once the log is
+// exhausted it returns Fallback (or panics if Fallback is negative),
+// making unexpected extra traffic loud.
+type Replay struct {
+	Log      []float64
+	Fallback float64
+
+	next int
+}
+
+// Delay implements Model.
+func (r *Replay) Delay(Msg, *rand.Rand) float64 {
+	if r.next < len(r.Log) {
+		d := r.Log[r.next]
+		r.next++
+		return d
+	}
+	if r.Fallback < 0 {
+		panic("netmodel: replay log exhausted")
+	}
+	return r.Fallback
+}
+
+// Reset rewinds the replay to the beginning of the log.
+func (r *Replay) Reset() { r.next = 0 }

@@ -1,0 +1,52 @@
+package netmodel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRecordThenReplayReproducesDelays(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	rec := &Recorder{Inner: Jitter{Inner: Fixed{D: 1}, Frac: 0.5}}
+	var original []float64
+	for i := 0; i < 20; i++ {
+		original = append(original, rec.Delay(Msg{Src: i % 3}, rng))
+	}
+	if len(rec.Log) != 20 {
+		t.Fatalf("log length %d", len(rec.Log))
+	}
+	rep := &Replay{Log: rec.Log, Fallback: -1}
+	for i, want := range original {
+		if got := rep.Delay(Msg{}, nil); got != want {
+			t.Fatalf("replay[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestReplayExhaustionFallback(t *testing.T) {
+	rep := &Replay{Log: []float64{1}, Fallback: 9}
+	rep.Delay(Msg{}, nil)
+	if got := rep.Delay(Msg{}, nil); got != 9 {
+		t.Errorf("fallback = %v, want 9", got)
+	}
+}
+
+func TestReplayExhaustionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	rep := &Replay{Fallback: -1}
+	rep.Delay(Msg{}, nil)
+}
+
+func TestReplayReset(t *testing.T) {
+	rep := &Replay{Log: []float64{1, 2}, Fallback: -1}
+	rep.Delay(Msg{}, nil)
+	rep.Delay(Msg{}, nil)
+	rep.Reset()
+	if got := rep.Delay(Msg{}, nil); got != 1 {
+		t.Errorf("after Reset = %v, want 1", got)
+	}
+}

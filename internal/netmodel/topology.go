@@ -1,0 +1,41 @@
+package netmodel
+
+import "math/rand"
+
+// PerPair assigns an extra fixed latency per (src, dst) pair on top of an
+// inner model — the building block for non-uniform topologies (machines
+// split across switches, a remote site behind a slow uplink).
+type PerPair struct {
+	Inner Model
+	// Extra[src][dst] is added to every src→dst message. Missing rows or
+	// columns contribute zero.
+	Extra [][]float64
+}
+
+// Delay implements Model.
+func (m PerPair) Delay(msg Msg, rng *rand.Rand) float64 {
+	d := m.Inner.Delay(msg, rng)
+	if msg.Src >= 0 && msg.Src < len(m.Extra) {
+		row := m.Extra[msg.Src]
+		if msg.Dst >= 0 && msg.Dst < len(row) {
+			d += row[msg.Dst]
+		}
+	}
+	return d
+}
+
+// TwoSwitch builds a PerPair extra-latency matrix for p machines split into
+// [0, split) and [split, p): messages within a group pay nothing extra,
+// messages crossing the inter-switch link pay cross seconds.
+func TwoSwitch(p, split int, cross float64) [][]float64 {
+	extra := make([][]float64, p)
+	for s := range extra {
+		extra[s] = make([]float64, p)
+		for d := range extra[s] {
+			if (s < split) != (d < split) {
+				extra[s][d] = cross
+			}
+		}
+	}
+	return extra
+}

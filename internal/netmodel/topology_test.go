@@ -1,0 +1,48 @@
+package netmodel
+
+import "testing"
+
+func TestPerPairAddsExtraLatency(t *testing.T) {
+	m := PerPair{
+		Inner: Fixed{D: 1},
+		Extra: [][]float64{{0, 2}, {3, 0}},
+	}
+	cases := []struct {
+		src, dst int
+		want     float64
+	}{
+		{0, 0, 1},
+		{0, 1, 3},
+		{1, 0, 4},
+		{1, 1, 1},
+		{5, 0, 1}, // out of range rows tolerated
+		{0, 5, 1}, // out of range cols tolerated
+	}
+	for _, c := range cases {
+		if got := m.Delay(Msg{Src: c.src, Dst: c.dst}, nil); got != c.want {
+			t.Errorf("%d->%d: %v, want %v", c.src, c.dst, got, c.want)
+		}
+	}
+}
+
+func TestTwoSwitchMatrix(t *testing.T) {
+	extra := TwoSwitch(4, 2, 0.5)
+	for s := 0; s < 4; s++ {
+		for d := 0; d < 4; d++ {
+			want := 0.0
+			if (s < 2) != (d < 2) {
+				want = 0.5
+			}
+			if extra[s][d] != want {
+				t.Errorf("extra[%d][%d] = %v, want %v", s, d, extra[s][d], want)
+			}
+		}
+	}
+}
+
+func TestSharedBusZeroBandwidth(t *testing.T) {
+	m := &SharedBus{Overhead: 0.5}
+	if got := m.Delay(Msg{Now: 0, Bytes: 1000}, nil); got != 0.5 {
+		t.Errorf("zero-bandwidth delay = %v, want overhead only", got)
+	}
+}

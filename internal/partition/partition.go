@@ -1,0 +1,118 @@
+// Package partition implements capacity-proportional load balancing: the
+// paper's eqs. 4–5, which require N_i/M_i equal across processors with
+// Σ N_i = N. Counts are integral, so we apportion with the largest-remainder
+// method, which keeps each processor within one variable of its ideal quota.
+package partition
+
+import "fmt"
+
+// Range is a half-open index interval [Lo, Hi) of variables owned by one
+// processor under a block distribution.
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns the number of variables in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Contains reports whether index i falls in the range.
+func (r Range) Contains(i int) bool { return i >= r.Lo && i < r.Hi }
+
+// Proportional splits n variables over processors with capacities caps so
+// that counts are proportional to capacity (largest-remainder rounding).
+// The returned counts sum to n exactly.
+func Proportional(n int, caps []float64) []int {
+	if n < 0 {
+		panic("partition: negative n")
+	}
+	if len(caps) == 0 {
+		panic("partition: no capacities")
+	}
+	var total float64
+	for i, c := range caps {
+		if c <= 0 {
+			panic(fmt.Sprintf("partition: capacity %d is not positive", i))
+		}
+		total += c
+	}
+	counts := make([]int, len(caps))
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, len(caps))
+	assigned := 0
+	for i, c := range caps {
+		quota := float64(n) * c / total
+		counts[i] = int(quota)
+		assigned += counts[i]
+		rems[i] = rem{idx: i, frac: quota - float64(counts[i])}
+	}
+	// Hand the leftover variables to the largest remainders; break ties in
+	// favor of the faster (lower-index) processor for determinism.
+	for assigned < n {
+		best := -1
+		for j := range rems {
+			if rems[j].frac < 0 {
+				continue
+			}
+			if best == -1 || rems[j].frac > rems[best].frac ||
+				(rems[j].frac == rems[best].frac && rems[j].idx < rems[best].idx) {
+				best = j
+			}
+		}
+		counts[rems[best].idx]++
+		rems[best].frac = -1
+		assigned++
+	}
+	return counts
+}
+
+// Blocks converts per-processor counts into contiguous index ranges.
+func Blocks(counts []int) []Range {
+	rs := make([]Range, len(counts))
+	lo := 0
+	for i, c := range counts {
+		rs[i] = Range{Lo: lo, Hi: lo + c}
+		lo += c
+	}
+	return rs
+}
+
+// Imbalance returns the maximum relative deviation of compute time from the
+// ideal: max_i |(N_i/M_i) / (N/ΣM) − 1|. Zero means perfect balance.
+func Imbalance(counts []int, caps []float64) float64 {
+	var n int
+	var total float64
+	for _, c := range counts {
+		n += c
+	}
+	for _, c := range caps {
+		total += c
+	}
+	if n == 0 {
+		return 0
+	}
+	ideal := float64(n) / total
+	worst := 0.0
+	for i, c := range counts {
+		dev := float64(c)/caps[i]/ideal - 1
+		if dev < 0 {
+			dev = -dev
+		}
+		if dev > worst {
+			worst = dev
+		}
+	}
+	return worst
+}
+
+// Owner returns the index of the range containing variable i, or -1.
+func Owner(rs []Range, i int) int {
+	for j, r := range rs {
+		if r.Contains(i) {
+			return j
+		}
+	}
+	return -1
+}

@@ -1,0 +1,73 @@
+package perfmodel
+
+// SpecTimeFW extends the §4 model to forward windows larger than one — the
+// "different forward and backward window sizes" analysis the paper lists as
+// future work.
+//
+// With a forward window w, a processor may run up to w iterations on
+// unvalidated inputs, so message latency is amortized over w iterations of
+// useful work: the communication bound in eq. 8's max term drops from
+// t_comm to t_comm/w. Speculating s steps ahead uses the same speculation
+// function, so the per-iteration speculation, checking and recomputation
+// terms are unchanged (the growth of k with speculation distance is the
+// application's business — pass the measured k for that window).
+//
+// SpecTimeFW(p, 1) equals SpecTime(p); fw < 1 panics.
+func (m Params) SpecTimeFW(p, fw int) float64 {
+	if fw < 1 {
+		panic("perfmodel: fw must be >= 1")
+	}
+	if p == 1 {
+		return m.SerialTime()
+	}
+	worst := 0.0
+	commBound := m.TComm(p) / float64(fw)
+	for i := 0; i < p; i++ {
+		ni := m.alloc(p, i)
+		mi := m.Caps[i]
+		remote := float64(m.N) - ni
+		t := remote*m.FSpec/mi + ni*m.FComp/mi
+		if commBound > t {
+			t = commBound
+		}
+		fcheck := m.FCheck + m.FCheckPerLocalVar*ni
+		t += remote*fcheck/mi + m.K*ni*m.FComp/mi
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// SpeedupSpecFW returns t(1)/t̂_fw(p).
+func (m Params) SpeedupSpecFW(p, fw int) float64 {
+	return m.SerialTime() / m.SpecTimeFW(p, fw)
+}
+
+// MaskedFraction reports what fraction of the per-iteration communication
+// time speculation hides on p processors with window fw: 1 means fully
+// overlapped, 0 means the processor would have idled the entire t_comm.
+func (m Params) MaskedFraction(p, fw int) float64 {
+	if p == 1 {
+		return 1
+	}
+	comm := m.TComm(p)
+	if comm <= 0 {
+		return 1
+	}
+	// The critical processor's exposed communication time is the amount by
+	// which the (amortized) communication bound exceeds its overlappable
+	// work.
+	worstExposed := 0.0
+	commBound := comm / float64(fw)
+	for i := 0; i < p; i++ {
+		ni := m.alloc(p, i)
+		mi := m.Caps[i]
+		remote := float64(m.N) - ni
+		work := remote*m.FSpec/mi + ni*m.FComp/mi
+		if exposed := commBound - work; exposed > worstExposed {
+			worstExposed = exposed
+		}
+	}
+	return 1 - worstExposed/comm
+}

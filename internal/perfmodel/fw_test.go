@@ -1,0 +1,82 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpecTimeFWEqualsSpecTimeAtOne(t *testing.T) {
+	m := NBodyRatioParams()
+	for p := 1; p <= 16; p++ {
+		if got, want := m.SpecTimeFW(p, 1), m.SpecTime(p); math.Abs(got-want) > 1e-12 {
+			t.Errorf("p=%d: SpecTimeFW(1) = %g, SpecTime = %g", p, got, want)
+		}
+	}
+}
+
+func TestSpecTimeFWMonotoneInWindow(t *testing.T) {
+	m := NBodyRatioParams()
+	// Strongly communication-bound so windows matter.
+	m.TComm = func(p int) float64 { return 40 }
+	prev := math.Inf(1)
+	for fw := 1; fw <= 6; fw++ {
+		cur := m.SpecTimeFW(16, fw)
+		if cur > prev+1e-12 {
+			t.Errorf("fw=%d: time %g exceeds fw=%d time %g", fw, cur, fw-1, prev)
+		}
+		prev = cur
+	}
+	// Once comm/fw falls below the compute bound, more window cannot help.
+	deep := m.SpecTimeFW(16, 50)
+	deeper := m.SpecTimeFW(16, 100)
+	if math.Abs(deep-deeper) > 1e-9 {
+		t.Errorf("window beyond saturation changed time: %g vs %g", deep, deeper)
+	}
+}
+
+func TestSpecTimeFWPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NBodyRatioParams().SpecTimeFW(4, 0)
+}
+
+func TestMaskedFraction(t *testing.T) {
+	m := NBodyRatioParams()
+	// Compute-bound: everything masked even at fw=1.
+	m.TComm = func(p int) float64 { return 0.1 }
+	if got := m.MaskedFraction(16, 1); got < 0.999 {
+		t.Errorf("compute-bound masked fraction = %g, want ~1", got)
+	}
+	// Strongly comm-bound: fw=1 masks partially; more window masks more.
+	m.TComm = func(p int) float64 { return 60 }
+	f1 := m.MaskedFraction(16, 1)
+	f3 := m.MaskedFraction(16, 3)
+	if !(f1 < 1 && f3 > f1) {
+		t.Errorf("masked fractions f1=%g f3=%g, want f1 < 1 and f3 > f1", f1, f3)
+	}
+	if m.MaskedFraction(1, 1) != 1 {
+		t.Error("single processor should mask trivially")
+	}
+}
+
+// Property: speedup with a larger window never falls below a smaller one,
+// and never exceeds the capacity bound.
+func TestSpeedupFWMonotoneProperty(t *testing.T) {
+	f := func(p8, fw8, comm8 uint8) bool {
+		p := int(p8%15) + 2
+		fw := int(fw8%5) + 1
+		m := NBodyRatioParams()
+		comm := 1 + float64(comm8)/4
+		m.TComm = func(int) float64 { return comm }
+		a := m.SpeedupSpecFW(p, fw)
+		b := m.SpeedupSpecFW(p, fw+1)
+		return b >= a-1e-9 && b <= m.SpeedupMax(p)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

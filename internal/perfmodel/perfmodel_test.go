@@ -1,0 +1,256 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	good := Section4Params()
+	if err := good.Validate(); err != nil {
+		t.Errorf("Section4Params invalid: %v", err)
+	}
+	bad := good
+	bad.N = 0
+	if bad.Validate() == nil {
+		t.Error("N=0 accepted")
+	}
+	bad = good
+	bad.Caps = []float64{1, 2} // not fastest-first
+	if bad.Validate() == nil {
+		t.Error("unordered caps accepted")
+	}
+	bad = good
+	bad.K = 1.5
+	if bad.Validate() == nil {
+		t.Error("K>1 accepted")
+	}
+	bad = good
+	bad.TComm = nil
+	if bad.Validate() == nil {
+		t.Error("nil TComm accepted")
+	}
+}
+
+func TestSerialTimeEq3(t *testing.T) {
+	m := Params{N: 1000, FComp: 2, Caps: []float64{10}, TComm: func(int) float64 { return 0 }}
+	if got := m.SerialTime(); got != 200 {
+		t.Errorf("SerialTime = %g, want 200", got)
+	}
+}
+
+func TestNoSpecTimeEq6(t *testing.T) {
+	m := Params{
+		N: 100, FComp: 1,
+		Caps:  []float64{10, 10},
+		TComm: func(p int) float64 { return 3 },
+	}
+	// comp = 100/20 = 5, plus comm 3.
+	if got := m.NoSpecTime(2); got != 8 {
+		t.Errorf("NoSpecTime(2) = %g, want 8", got)
+	}
+	if got := m.NoSpecTime(1); got != 10 {
+		t.Errorf("NoSpecTime(1) = %g, want 10 (serial, no comm)", got)
+	}
+}
+
+func TestSpecProcTimeEq8(t *testing.T) {
+	// Homogeneous 2-proc case with hand-computed terms.
+	m := Params{
+		N: 100, FComp: 1, FSpec: 0.1, FCheck: 0.2, K: 0.1,
+		Caps:  []float64{10, 10},
+		TComm: func(int) float64 { return 4 },
+	}
+	// N_i = 50, remote = 50. spec+comp = 50*0.1/10 + 50*1/10 = 0.5+5 = 5.5.
+	// max(5.5, 4) = 5.5. check = 50*0.2/10 = 1. k-term = 0.1*50/10 = 0.5.
+	want := 5.5 + 1 + 0.5
+	if got := m.SpecProcTime(2, 0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("SpecProcTime = %g, want %g", got, want)
+	}
+	// Communication-bound: raise TComm above spec+comp.
+	m.TComm = func(int) float64 { return 9 }
+	want = 9 + 1 + 0.5
+	if got := m.SpecProcTime(2, 0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("comm-bound SpecProcTime = %g, want %g", got, want)
+	}
+}
+
+func TestSpecTimeIsMaxOverProcs(t *testing.T) {
+	m := NBodyRatioParams()
+	p := 16
+	worst := 0.0
+	for i := 0; i < p; i++ {
+		if v := m.SpecProcTime(p, i); v > worst {
+			worst = v
+		}
+	}
+	if got := m.SpecTime(p); got != worst {
+		t.Errorf("SpecTime = %g, want max %g", got, worst)
+	}
+}
+
+func TestSpeedupMax(t *testing.T) {
+	m := Params{N: 10, FComp: 1, Caps: []float64{10, 5, 5}, TComm: func(int) float64 { return 0 }}
+	if got := m.SpeedupMax(3); got != 2 {
+		t.Errorf("SpeedupMax = %g, want 2", got)
+	}
+	if got := m.SpeedupMax(1); got != 1 {
+		t.Errorf("SpeedupMax(1) = %g, want 1", got)
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	// The shapes the paper reports for its Figure 5 (with the N-body-derived
+	// cost ratios; see the package comment and EXPERIMENTS.md):
+	m := NBodyRatioParams()
+	// (1) speculation has little impact for small p;
+	small := m.SpeedupSpec(2) / m.SpeedupNoSpec(2)
+	if small > 1.25 {
+		t.Errorf("spec gain at p=2 is %.2f, expected small", small)
+	}
+	// (2) no-spec performance declines beyond ~10 processors;
+	peak, peakAt := 0.0, 0
+	for p := 1; p <= 16; p++ {
+		if s := m.SpeedupNoSpec(p); s > peak {
+			peak, peakAt = s, p
+		}
+	}
+	if peakAt < 8 || peakAt > 13 {
+		t.Errorf("no-spec speedup peaks at p=%d, want ~10", peakAt)
+	}
+	if m.SpeedupNoSpec(16) >= peak {
+		t.Error("no-spec speedup did not decline by p=16")
+	}
+	// (3) speculation wins significantly at p=16;
+	gain := m.SpeedupSpec(16)/m.SpeedupNoSpec(16) - 1
+	if gain < 0.2 {
+		t.Errorf("spec gain at p=16 = %.1f%%, want >= 20%%", gain*100)
+	}
+	// (4) spec speedup keeps rising with p (small sub-2% wiggles from the
+	// slowest processor's aux work are allowed) and stays below the maximum.
+	for p := 2; p <= 16; p++ {
+		if m.SpeedupSpec(p) < m.SpeedupSpec(p-1)*0.98 {
+			t.Errorf("spec speedup dropped sharply at p=%d", p)
+		}
+		if m.SpeedupSpec(p) > m.SpeedupMax(p)+1e-9 {
+			t.Errorf("spec speedup exceeds max at p=%d", p)
+		}
+	}
+	if m.SpeedupSpec(16) < 1.5*m.SpeedupSpec(2) {
+		t.Error("spec speedup did not grow substantially from p=2 to p=16")
+	}
+}
+
+func TestFigure6CrossoverNearTenPercent(t *testing.T) {
+	// With the literal §4 cost ratios at p=8, speculation beats no
+	// speculation for small k and loses beyond a crossover in the
+	// neighbourhood of the paper's "less than 10%".
+	m := Section4Params()
+	const p = 8
+	base := m.SpeedupNoSpec(p)
+	mk := func(k float64) float64 {
+		mm := m
+		mm.K = k
+		return mm.SpeedupSpec(p)
+	}
+	if mk(0.0) <= base {
+		t.Errorf("spec at k=0 (%.3f) does not beat no-spec (%.3f)", mk(0.0), base)
+	}
+	if mk(0.20) >= base {
+		t.Errorf("spec at k=20%% (%.3f) still beats no-spec (%.3f)", mk(0.20), base)
+	}
+	// Locate the crossover.
+	cross := -1.0
+	for k := 0.0; k <= 0.25; k += 0.001 {
+		if mk(k) < base {
+			cross = k
+			break
+		}
+	}
+	if cross < 0.02 || cross > 0.15 {
+		t.Errorf("crossover at k=%.3f, want in [0.02, 0.15]", cross)
+	}
+	// Speedup decreases monotonically in k.
+	prev := math.Inf(1)
+	for k := 0.0; k <= 0.2; k += 0.02 {
+		s := mk(k)
+		if s > prev+1e-12 {
+			t.Errorf("speedup not monotone in k at %.2f", k)
+		}
+		prev = s
+	}
+}
+
+func TestLinearCaps(t *testing.T) {
+	caps := LinearCaps(16, 10, 10)
+	if caps[0] != 10 || math.Abs(caps[15]-1) > 1e-12 {
+		t.Errorf("caps endpoints = %g, %g", caps[0], caps[15])
+	}
+	one := LinearCaps(1, 7, 10)
+	if one[0] != 7 {
+		t.Errorf("single cap = %g", one[0])
+	}
+}
+
+func TestLinearTComm(t *testing.T) {
+	caps := LinearCaps(16, 10, 10)
+	tc := LinearTComm(1000, 1, caps, 16)
+	var sum float64
+	for _, c := range caps {
+		sum += c
+	}
+	wantRef := 1000 / sum
+	if got := tc(16); math.Abs(got-wantRef) > 1e-12 {
+		t.Errorf("tc(16) = %g, want %g", got, wantRef)
+	}
+	if got := tc(8); math.Abs(got-wantRef/2) > 1e-12 {
+		t.Errorf("tc(8) = %g, want %g", got, wantRef/2)
+	}
+}
+
+func TestStochasticReducesToDeterministic(t *testing.T) {
+	m := NBodyRatioParams()
+	det := m.SpecTime(8)
+	if got := m.SpecTimeStochastic(8, 0, 100, 1); got != det {
+		t.Errorf("jitter=0 stochastic = %g, want %g", got, det)
+	}
+	if got := m.SpecTimeStochastic(1, 0.5, 100, 1); got != m.SerialTime() {
+		t.Errorf("p=1 stochastic = %g, want serial", got)
+	}
+}
+
+func TestStochasticJitterIncreasesExpectedTime(t *testing.T) {
+	// max(·, comm) is convex in comm, so jitter can only raise the mean
+	// when the comm bound binds on some processors.
+	m := NBodyRatioParams()
+	m.TComm = func(p int) float64 { return 20 } // strongly comm-bound
+	det := m.SpecTime(16)
+	st := m.SpecTimeStochastic(16, 0.5, 4000, 7)
+	if st < det-1e-9 {
+		t.Errorf("stochastic %g below deterministic %g", st, det)
+	}
+}
+
+// Property: speedups are positive, bounded by SpeedupMax (no-spec), and the
+// k=0, free-aux speculative model is never slower than no-spec.
+func TestModelSanityProperty(t *testing.T) {
+	f := func(p8 uint8, k8 uint8) bool {
+		p := int(p8%16) + 1
+		m := NBodyRatioParams()
+		m.K = float64(k8%100) / 100
+		if m.SpeedupNoSpec(p) <= 0 || m.SpeedupSpec(p) <= 0 {
+			return false
+		}
+		if m.SpeedupNoSpec(p) > m.SpeedupMax(p)+1e-9 {
+			return false
+		}
+		// Zero-cost speculation with k=0 dominates no speculation.
+		free := m
+		free.FSpec, free.FCheck, free.K = 0, 0, 0
+		return free.SpeedupSpec(p) >= free.SpeedupNoSpec(p)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,133 @@
+// Package plot renders multi-series line charts as ASCII, so the
+// reproduction binaries can show the paper's figures directly in a
+// terminal.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one plotted line.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// markers assigned to series in order.
+var markers = []byte{'o', '+', 'x', '*', '#', '@', '%', '&'}
+
+// Chart renders the series on a width×height character canvas with axis
+// ranges derived from the data. Points are plotted at their nearest cell;
+// a legend maps markers to series names.
+func Chart(series []Series, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 5 {
+		height = 5
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+			points++
+		}
+	}
+	if points == 0 {
+		return "(no data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			if i >= len(s.Y) || math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			c := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			r := height - 1 - int((s.Y[i]-ymin)/(ymax-ymin)*float64(height-1))
+			if c >= 0 && c < width && r >= 0 && r < height {
+				grid[r][c] = m
+			}
+		}
+	}
+	var b strings.Builder
+	for r, row := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.3g", ymax)
+		case height - 1:
+			label = fmt.Sprintf("%8.3g", ymin)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, row)
+	}
+	fmt.Fprintf(&b, "%8s  %-*.4g%*.4g\n", "", width/2, xmin, width-width/2, xmax)
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	fmt.Fprintf(&b, "%8s  %s\n", "", strings.Join(legend, "   "))
+	return b.String()
+}
+
+// CSV renders the series as comma-separated columns (x, then one column per
+// series; rows follow the first series' x values, other series matched by
+// index).
+func CSV(series []Series) string {
+	var b strings.Builder
+	b.WriteString("x")
+	for _, s := range series {
+		b.WriteString(",")
+		b.WriteString(strings.ReplaceAll(s.Name, ",", ";"))
+	}
+	b.WriteString("\n")
+	rows := 0
+	for _, s := range series {
+		if len(s.X) > rows {
+			rows = len(s.X)
+		}
+	}
+	for i := 0; i < rows; i++ {
+		wrote := false
+		for _, s := range series {
+			if i < len(s.X) {
+				fmt.Fprintf(&b, "%g", s.X[i])
+				wrote = true
+				break
+			}
+		}
+		if !wrote {
+			continue
+		}
+		for _, s := range series {
+			b.WriteString(",")
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, "%g", s.Y[i])
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

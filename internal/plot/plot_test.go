@@ -1,0 +1,80 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartPlotsAllSeries(t *testing.T) {
+	s := []Series{
+		{Name: "up", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+		{Name: "down", X: []float64{0, 1, 2, 3}, Y: []float64{3, 2, 1, 0}},
+	}
+	out := Chart(s, 40, 10)
+	if !strings.Contains(out, "o up") || !strings.Contains(out, "+ down") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, "+") {
+		t.Error("markers not plotted")
+	}
+	// Axis labels present.
+	if !strings.Contains(out, "3") || !strings.Contains(out, "0") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+}
+
+func TestChartIncreasingLineOrientation(t *testing.T) {
+	s := []Series{{Name: "line", X: []float64{0, 10}, Y: []float64{0, 10}}}
+	out := Chart(s, 30, 8)
+	lines := strings.Split(out, "\n")
+	// The max-y point plots near the right of the top row; the min-y point
+	// near the left of the bottom grid row.
+	top, bottom := lines[0], lines[7]
+	if !strings.Contains(top, "o") {
+		t.Errorf("top row missing point: %q", top)
+	}
+	if !strings.Contains(bottom, "o") {
+		t.Errorf("bottom row missing point: %q", bottom)
+	}
+	if strings.Index(top, "o") <= strings.Index(bottom, "o") {
+		t.Error("line not oriented bottom-left to top-right")
+	}
+}
+
+func TestChartEmptyAndDegenerate(t *testing.T) {
+	if out := Chart(nil, 40, 10); !strings.Contains(out, "no data") {
+		t.Errorf("empty chart = %q", out)
+	}
+	// Single point: degenerate ranges must not divide by zero.
+	out := Chart([]Series{{Name: "pt", X: []float64{5}, Y: []float64{7}}}, 20, 6)
+	if !strings.Contains(out, "o") {
+		t.Errorf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	s := []Series{
+		{Name: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+		{Name: "b,c", X: []float64{1, 2}, Y: []float64{30, 40}},
+	}
+	out := CSV(s)
+	want := "x,a,b;c\n1,10,30\n2,20,40\n"
+	if out != want {
+		t.Errorf("CSV = %q, want %q", out, want)
+	}
+}
+
+func TestCSVUnevenSeries(t *testing.T) {
+	s := []Series{
+		{Name: "a", X: []float64{1, 2, 3}, Y: []float64{1, 2, 3}},
+		{Name: "b", X: []float64{1}, Y: []float64{9}},
+	}
+	out := CSV(s)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rows = %d, want 4: %q", len(lines), out)
+	}
+	if lines[2] != "2,2," {
+		t.Errorf("uneven row = %q", lines[2])
+	}
+}

@@ -1,0 +1,72 @@
+package predict
+
+import "fmt"
+
+// Holt implements Holt's linear (double exponential) smoothing over the
+// available history window: a smoothed level and trend are built from the
+// snapshots oldest-to-newest and extrapolated forward. Compared with the
+// raw two-point Linear predictor it filters noise in the per-iteration
+// differences, at the cost of lag on genuine trend changes — the
+// accuracy/complexity trade-off §3.2 discusses for larger backward windows.
+type Holt struct {
+	// Alpha is the level smoothing factor in (0, 1].
+	Alpha float64
+	// Beta is the trend smoothing factor in (0, 1].
+	Beta float64
+	// BW is the maximum history depth consulted (≥ 2).
+	BW int
+}
+
+// Predict implements Predictor.
+func (h Holt) Predict(hist [][]float64, steps int) []float64 {
+	if len(hist) == 0 {
+		return nil
+	}
+	depth := h.BW
+	if depth < 2 {
+		depth = 2
+	}
+	if depth > len(hist) {
+		depth = len(hist)
+	}
+	if depth < 2 {
+		return ZeroOrder{}.Predict(hist, steps)
+	}
+	n := len(hist[0])
+	// Oldest-to-newest pass. hist is newest first: index depth-1 is oldest.
+	level := make([]float64, n)
+	trend := make([]float64, n)
+	copy(level, hist[depth-1])
+	for i := range trend {
+		trend[i] = hist[depth-2][i] - hist[depth-1][i]
+	}
+	for s := depth - 2; s >= 0; s-- {
+		x := hist[s]
+		for i := 0; i < n; i++ {
+			prevLevel := level[i]
+			level[i] = h.Alpha*x[i] + (1-h.Alpha)*(level[i]+trend[i])
+			trend[i] = h.Beta*(level[i]-prevLevel) + (1-h.Beta)*trend[i]
+		}
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = level[i] + float64(steps)*trend[i]
+	}
+	return out
+}
+
+// Window implements Predictor.
+func (h Holt) Window() int {
+	if h.BW < 2 {
+		return 2
+	}
+	return h.BW
+}
+
+// Name implements Predictor.
+func (h Holt) Name() string {
+	return fmt.Sprintf("holt(a=%.2f,b=%.2f,bw=%d)", h.Alpha, h.Beta, h.Window())
+}
+
+// Ops implements Predictor.
+func (h Holt) Ops() float64 { return float64(6 * h.Window()) }

@@ -1,0 +1,78 @@
+package predict
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHoltExactOnAffineWithFullSmoothing(t *testing.T) {
+	// Alpha = Beta = 1 tracks the last level and difference exactly, so an
+	// affine series is extrapolated exactly.
+	h := Holt{Alpha: 1, Beta: 1, BW: 4}
+	// x(t) = 3t + 1 at t = 1..4, newest first.
+	hist := [][]float64{{13}, {10}, {7}, {4}}
+	for steps := 1; steps <= 3; steps++ {
+		got := h.Predict(hist, steps)
+		want := 13 + 3*float64(steps)
+		if math.Abs(got[0]-want) > 1e-9 {
+			t.Errorf("steps=%d: got %g, want %g", steps, got[0], want)
+		}
+	}
+}
+
+func TestHoltConstantSeries(t *testing.T) {
+	h := Holt{Alpha: 0.5, Beta: 0.3, BW: 5}
+	hist := [][]float64{{7, 7}, {7, 7}, {7, 7}}
+	got := h.Predict(hist, 2)
+	if math.Abs(got[0]-7) > 1e-9 || math.Abs(got[1]-7) > 1e-9 {
+		t.Errorf("constant series predicted %v", got)
+	}
+}
+
+func TestHoltShortHistoryDegrades(t *testing.T) {
+	h := Holt{Alpha: 0.5, Beta: 0.5, BW: 5}
+	got := h.Predict([][]float64{{4}}, 3)
+	if math.Abs(got[0]-4) > 1e-9 {
+		t.Errorf("single snapshot predicted %v, want 4", got[0])
+	}
+	if h.Predict(nil, 1) != nil {
+		t.Error("empty history should return nil")
+	}
+}
+
+func TestHoltSmoothsNoiseBetterThanLinear(t *testing.T) {
+	// Underlying trend x(t) = t with additive noise; the two-point Linear
+	// predictor doubles the noise in its slope, Holt averages it out.
+	rng := rand.New(rand.NewSource(6))
+	h := Holt{Alpha: 0.4, Beta: 0.2, BW: 8}
+	l := Linear{}
+	var holtErr, linErr float64
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		hist := make([][]float64, 8) // newest first: t = 10, 9, ..., 3
+		for i := range hist {
+			tt := float64(10 - i)
+			hist[i] = []float64{tt + 0.3*(2*rng.Float64()-1)}
+		}
+		truth := 11.0
+		holtErr += math.Abs(h.Predict(hist, 1)[0] - truth)
+		linErr += math.Abs(l.Predict(hist, 1)[0] - truth)
+	}
+	if holtErr >= linErr {
+		t.Errorf("Holt error %g not below Linear error %g on noisy trend", holtErr/trials, linErr/trials)
+	}
+}
+
+func TestHoltWindowAndName(t *testing.T) {
+	h := Holt{Alpha: 0.5, Beta: 0.5, BW: 6}
+	if h.Window() != 6 {
+		t.Errorf("Window = %d", h.Window())
+	}
+	if (Holt{}).Window() != 2 {
+		t.Errorf("default Window = %d", (Holt{}).Window())
+	}
+	if h.Name() == "" || h.Ops() <= 0 {
+		t.Error("bad Name/Ops")
+	}
+}

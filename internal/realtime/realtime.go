@@ -1,0 +1,198 @@
+// Package realtime executes a synchronous iterative application with
+// speculative computation on REAL goroutines and channels — the library's
+// answer to "does this run outside the simulator?". Each processor is a
+// goroutine; messages travel over Go channels with an optional injected
+// wall-clock latency.
+//
+// The package implements core.Transport, so the full engine runs here
+// unchanged: every forward window, the Publisher/Stopper/Corrector
+// extensions, and the speculation statistics all behave exactly as on the
+// simulated cluster. Operation-count charging is a no-op (the app's real
+// CPU time is the cost), and blocked-receive time is accounted in wall
+// seconds.
+package realtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"specomp/internal/cluster"
+	"specomp/internal/core"
+	"specomp/internal/predict"
+)
+
+// Config parameterizes a real-time run.
+type Config struct {
+	// Procs is the number of worker goroutines.
+	Procs int
+	// MaxIter is the number of iterations.
+	MaxIter int
+	// FW is the forward window (any value the engine supports).
+	FW int
+	// BW is the backward window; defaults to the predictor's window.
+	BW int
+	// Predictor is the generic speculation function (default predict.Linear).
+	Predictor predict.Predictor
+	// HoldSends forwards the engine's speculative-send ablation switch.
+	HoldSends bool
+	// Delay is an artificial per-message latency injected on delivery,
+	// emulating a slow interconnect. Zero delivers immediately.
+	Delay time.Duration
+}
+
+// Result is one processor's outcome.
+type Result struct {
+	Proc      int
+	Final     []float64
+	Converged bool
+	SpecsMade int
+	SpecsBad  int
+	Repairs   int
+	Elapsed   time.Duration
+	// CommBlocked is the wall-clock time spent blocked on receives.
+	CommBlocked time.Duration
+}
+
+// transport adapts goroutine channels to core.Transport.
+type transport struct {
+	id, p   int
+	inbox   chan cluster.Message
+	peers   []chan cluster.Message
+	delay   time.Duration
+	start   time.Time
+	pending []cluster.Message
+	commSec float64
+}
+
+func (t *transport) ID() int { return t.id }
+
+func (t *transport) P() int { return t.p }
+
+func (t *transport) Now() float64 { return time.Since(t.start).Seconds() }
+
+// Compute is a no-op: on a wall-clock substrate the work has already been
+// done by the app itself.
+func (t *transport) Compute(float64, cluster.Phase) {}
+
+func (t *transport) Send(dst, tag, iter int, data []float64) {
+	payload := make([]float64, len(data))
+	copy(payload, data)
+	m := cluster.Message{Src: t.id, Dst: dst, Tag: tag, Iter: iter, Data: payload, SentAt: t.Now()}
+	ch := t.peers[dst]
+	if t.delay <= 0 {
+		ch <- m
+		return
+	}
+	time.AfterFunc(t.delay, func() { ch <- m })
+}
+
+func matches(m cluster.Message, src, tag int) bool {
+	return (src == cluster.Any || m.Src == src) && (tag == cluster.Any || m.Tag == tag)
+}
+
+func (t *transport) takePending(src, tag int) (cluster.Message, bool) {
+	for i, m := range t.pending {
+		if matches(m, src, tag) {
+			t.pending = append(t.pending[:i], t.pending[i+1:]...)
+			return m, true
+		}
+	}
+	return cluster.Message{}, false
+}
+
+func (t *transport) TryRecv(src, tag int) (cluster.Message, bool) {
+	if m, ok := t.takePending(src, tag); ok {
+		return m, true
+	}
+	for {
+		select {
+		case m := <-t.inbox:
+			m.DeliveredAt = t.Now()
+			if matches(m, src, tag) {
+				return m, true
+			}
+			t.pending = append(t.pending, m)
+		default:
+			return cluster.Message{}, false
+		}
+	}
+}
+
+func (t *transport) Recv(src, tag int) cluster.Message {
+	if m, ok := t.takePending(src, tag); ok {
+		return m
+	}
+	before := time.Now()
+	defer func() { t.commSec += time.Since(before).Seconds() }()
+	for {
+		m := <-t.inbox
+		m.DeliveredAt = t.Now()
+		if matches(m, src, tag) {
+			return m
+		}
+		t.pending = append(t.pending, m)
+	}
+}
+
+func (t *transport) PhaseTime(ph cluster.Phase) float64 {
+	if ph == cluster.PhaseComm {
+		return t.commSec
+	}
+	return 0
+}
+
+// Run executes the application and returns per-processor results.
+func Run(cfg Config, factory func(pid, procs int) core.App) ([]Result, error) {
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("realtime: Procs must be >= 1")
+	}
+	if cfg.MaxIter < 1 {
+		return nil, fmt.Errorf("realtime: MaxIter must be >= 1")
+	}
+	p := cfg.Procs
+	inbox := make([]chan cluster.Message, p)
+	for i := range inbox {
+		// Generous buffering: senders must never block (MaxIter data
+		// messages from each peer, plus slack).
+		inbox[i] = make(chan cluster.Message, p*(cfg.MaxIter+4))
+	}
+	ecfg := core.Config{
+		FW: cfg.FW, BW: cfg.BW, MaxIter: cfg.MaxIter,
+		Predictor: cfg.Predictor, HoldSends: cfg.HoldSends,
+	}
+	results := make([]Result, p)
+	errs := make([]error, p)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for pid := 0; pid < p; pid++ {
+		pid := pid
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr := &transport{id: pid, p: p, inbox: inbox[pid], peers: inbox, delay: cfg.Delay, start: start}
+			res, err := core.Run(tr, factory(pid, p), ecfg)
+			if err != nil {
+				errs[pid] = err
+				return
+			}
+			results[pid] = Result{
+				Proc:        pid,
+				Final:       res.Final,
+				Converged:   res.Converged,
+				SpecsMade:   res.Stats.SpecsMade,
+				SpecsBad:    res.Stats.SpecsBad,
+				Repairs:     res.Stats.Repairs,
+				Elapsed:     time.Since(start),
+				CommBlocked: time.Duration(res.Stats.CommTime * float64(time.Second)),
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("realtime: processor %d: %w", i, err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,52 @@
+package simtime
+
+import "container/heap"
+
+// event is a scheduled callback. Ties on t are broken by insertion order
+// (seq) so runs are deterministic.
+type event struct {
+	t   float64
+	seq uint64
+	fn  func()
+}
+
+// eventQueue is a min-heap of events ordered by (t, seq).
+type eventQueue struct {
+	items eventHeap
+}
+
+func (q *eventQueue) push(ev *event) { heap.Push(&q.items, ev) }
+
+// pop removes and returns the earliest event, or nil if the queue is empty.
+func (q *eventQueue) pop() *event {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.items).(*event)
+}
+
+func (q *eventQueue) len() int { return len(q.items) }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

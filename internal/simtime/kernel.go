@@ -1,0 +1,237 @@
+// Package simtime provides a deterministic discrete-event simulation kernel.
+//
+// Simulated processes are ordinary goroutines that interact with a virtual
+// clock through blocking primitives (Sleep, Park). At any instant exactly one
+// goroutine — either the kernel or a single resumed process — is running, so
+// all kernel state is accessed without locks and runs are fully
+// deterministic for a given seed and spawn order.
+//
+// The kernel is the substrate on which internal/cluster builds a simulated
+// heterogeneous workstation network (the paper's PVM testbed).
+package simtime
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// ErrDeadlock is returned by Run when no events remain but live processes
+// are still parked waiting to be unblocked.
+var ErrDeadlock = errors.New("simtime: deadlock")
+
+// ErrHorizon is returned by Run when the next event lies beyond the
+// configured time horizon.
+var ErrHorizon = errors.New("simtime: horizon reached")
+
+// Config parameterizes a Kernel.
+type Config struct {
+	// Seed seeds the kernel's deterministic random source.
+	Seed int64
+	// Horizon, if positive, stops the simulation once the virtual clock
+	// would pass this time.
+	Horizon float64
+}
+
+// procState tracks where a process is in its lifecycle.
+type procState int
+
+const (
+	stateReady   procState = iota // has a pending resume event
+	stateRunning                  // currently executing
+	stateParked                   // waiting for Unblock
+	stateDone                     // body returned or panicked
+)
+
+// Proc is a simulated process. Its methods must only be called from within
+// the process's own body function.
+type Proc struct {
+	k     *Kernel
+	id    int
+	name  string
+	state procState
+	run   chan struct{}
+	panic any // non-nil if the body panicked
+}
+
+// ID returns the process's kernel-assigned identifier (spawn order).
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time in seconds.
+func (p *Proc) Now() float64 { return p.k.now }
+
+// Rand returns the kernel's deterministic random source.
+func (p *Proc) Rand() *rand.Rand { return p.k.rng }
+
+// Kernel owns the virtual clock and event queue.
+type Kernel struct {
+	now   float64
+	queue eventQueue
+	seq   uint64
+	procs []*Proc
+	live  int // procs not yet done
+	rng   *rand.Rand
+	// park is the rendezvous: a resumed process signals on park when it
+	// blocks again or finishes, returning control to the kernel.
+	park    chan struct{}
+	horizon float64
+	stopped bool
+	failure error
+}
+
+// NewKernel creates a kernel with the given configuration.
+func NewKernel(cfg Config) *Kernel {
+	return &Kernel{
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		park:    make(chan struct{}),
+		horizon: cfg.Horizon,
+	}
+}
+
+// Now returns the current virtual time in seconds.
+func (k *Kernel) Now() float64 { return k.now }
+
+// Rand returns the kernel's deterministic random source.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Spawn registers a new process whose body starts at the current virtual
+// time. The body runs in its own goroutine but is scheduled cooperatively by
+// the kernel. Spawn may be called before Run or from a running process.
+func (k *Kernel) Spawn(name string, body func(*Proc)) *Proc {
+	p := &Proc{
+		k:     k,
+		id:    len(k.procs),
+		name:  name,
+		state: stateReady,
+		run:   make(chan struct{}),
+	}
+	k.procs = append(k.procs, p)
+	k.live++
+	go func() {
+		<-p.run
+		defer func() {
+			if r := recover(); r != nil {
+				p.panic = r
+			}
+			p.state = stateDone
+			k.live--
+			k.park <- struct{}{}
+		}()
+		body(p)
+	}()
+	k.at(k.now, func() { k.resume(p) })
+	return p
+}
+
+// Schedule runs fn on the kernel after delay seconds of virtual time.
+// fn executes in kernel context: it may deliver messages and Unblock parked
+// processes, but must not block.
+func (k *Kernel) Schedule(delay float64, fn func()) {
+	if delay < 0 {
+		panic("simtime: negative delay")
+	}
+	k.at(k.now+delay, fn)
+}
+
+// Unblock makes a parked process runnable at the current virtual time.
+// It panics if the process is not parked.
+func (k *Kernel) Unblock(p *Proc) {
+	if p.state != stateParked {
+		panic(fmt.Sprintf("simtime: Unblock(%s): process not parked (state %d)", p.name, p.state))
+	}
+	p.state = stateReady
+	k.at(k.now, func() { k.resume(p) })
+}
+
+// Fail aborts the run; Run returns err after the current event completes.
+func (k *Kernel) Fail(err error) {
+	k.stopped = true
+	if k.failure == nil {
+		k.failure = err
+	}
+}
+
+// at enqueues fn at absolute virtual time t.
+func (k *Kernel) at(t float64, fn func()) {
+	k.seq++
+	k.queue.push(&event{t: t, seq: k.seq, fn: fn})
+}
+
+// resume hands control to p and waits until it parks again or finishes.
+func (k *Kernel) resume(p *Proc) {
+	if p.state == stateDone {
+		return
+	}
+	p.state = stateRunning
+	p.run <- struct{}{}
+	<-k.park
+	if p.panic != nil && k.failure == nil {
+		k.stopped = true
+		k.failure = fmt.Errorf("simtime: process %q panicked: %v", p.name, p.panic)
+	}
+}
+
+// Run drives the simulation until all processes finish, a deadlock is
+// detected, the horizon is reached, or Fail is called.
+func (k *Kernel) Run() error {
+	for !k.stopped {
+		ev := k.queue.pop()
+		if ev == nil {
+			if k.live == 0 {
+				return nil
+			}
+			return fmt.Errorf("%w: %d process(es) parked forever: %s",
+				ErrDeadlock, k.live, strings.Join(k.parkedNames(), ", "))
+		}
+		if k.horizon > 0 && ev.t > k.horizon {
+			k.now = k.horizon
+			return fmt.Errorf("%w at t=%g", ErrHorizon, k.horizon)
+		}
+		if ev.t < k.now {
+			return fmt.Errorf("simtime: event time %g before now %g", ev.t, k.now)
+		}
+		k.now = ev.t
+		ev.fn()
+	}
+	return k.failure
+}
+
+func (k *Kernel) parkedNames() []string {
+	var names []string
+	for _, p := range k.procs {
+		if p.state == stateParked {
+			names = append(names, p.name)
+		}
+	}
+	return names
+}
+
+// yield parks the calling process and returns control to the kernel,
+// blocking until the kernel resumes it.
+func (p *Proc) yield() {
+	p.k.park <- struct{}{}
+	<-p.run
+}
+
+// Sleep advances the process's local time by d seconds of virtual time.
+func (p *Proc) Sleep(d float64) {
+	if d < 0 {
+		panic("simtime: negative sleep")
+	}
+	if d == 0 {
+		return
+	}
+	p.state = stateReady
+	p.k.at(p.k.now+d, func() { p.k.resume(p) })
+	p.yield()
+}
+
+// Park blocks the process until another event calls Kernel.Unblock on it.
+func (p *Proc) Park() {
+	p.state = stateParked
+	p.yield()
+}

@@ -1,0 +1,313 @@
+package simtime
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleProcessAdvancesClock(t *testing.T) {
+	k := NewKernel(Config{})
+	var at []float64
+	k.Spawn("a", func(p *Proc) {
+		at = append(at, p.Now())
+		p.Sleep(1.5)
+		at = append(at, p.Now())
+		p.Sleep(0.25)
+		at = append(at, p.Now())
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 1.5, 1.75}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Errorf("at[%d] = %g, want %g", i, at[i], want[i])
+		}
+	}
+	if k.Now() != 1.75 {
+		t.Errorf("final Now = %g, want 1.75", k.Now())
+	}
+}
+
+func TestZeroSleepIsNoop(t *testing.T) {
+	k := NewKernel(Config{})
+	k.Spawn("a", func(p *Proc) {
+		p.Sleep(0)
+		if p.Now() != 0 {
+			t.Errorf("Now = %g after zero sleep", p.Now())
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleavingIsDeterministicAndTimeOrdered(t *testing.T) {
+	run := func() []string {
+		k := NewKernel(Config{Seed: 7})
+		var order []string
+		k.Spawn("a", func(p *Proc) {
+			p.Sleep(2)
+			order = append(order, "a2")
+			p.Sleep(2)
+			order = append(order, "a4")
+		})
+		k.Spawn("b", func(p *Proc) {
+			p.Sleep(1)
+			order = append(order, "b1")
+			p.Sleep(2)
+			order = append(order, "b3")
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	first := run()
+	want := []string{"b1", "a2", "b3", "a4"}
+	for i := range want {
+		if first[i] != want[i] {
+			t.Fatalf("order = %v, want %v", first, want)
+		}
+	}
+	for trial := 0; trial < 20; trial++ {
+		got := run()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: order = %v, want %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestTieBreakBySpawnOrder(t *testing.T) {
+	k := NewKernel(Config{})
+	var order []string
+	for _, name := range []string{"x", "y", "z"} {
+		name := name
+		k.Spawn(name, func(p *Proc) {
+			p.Sleep(1)
+			order = append(order, name)
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != "x" || order[1] != "y" || order[2] != "z" {
+		t.Errorf("tie order = %v, want [x y z]", order)
+	}
+}
+
+func TestParkUnblock(t *testing.T) {
+	k := NewKernel(Config{})
+	var woke float64
+	var waiter *Proc
+	waiter = k.Spawn("waiter", func(p *Proc) {
+		p.Park()
+		woke = p.Now()
+	})
+	k.Spawn("waker", func(p *Proc) {
+		p.Sleep(3)
+		p.k.Unblock(waiter)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 3 {
+		t.Errorf("woke at %g, want 3", woke)
+	}
+}
+
+func TestScheduleClosureEvent(t *testing.T) {
+	k := NewKernel(Config{})
+	var hits []float64
+	k.Spawn("a", func(p *Proc) {
+		p.k.Schedule(5, func() { hits = append(hits, p.k.Now()) })
+		p.k.Schedule(2, func() { hits = append(hits, p.k.Now()) })
+		p.Sleep(10)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 || hits[0] != 2 || hits[1] != 5 {
+		t.Errorf("hits = %v, want [2 5]", hits)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	k := NewKernel(Config{})
+	k.Spawn("stuck", func(p *Proc) { p.Park() })
+	err := k.Run()
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestHorizonStopsRun(t *testing.T) {
+	k := NewKernel(Config{Horizon: 5})
+	k.Spawn("long", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Sleep(1)
+		}
+	})
+	err := k.Run()
+	if !errors.Is(err, ErrHorizon) {
+		t.Fatalf("err = %v, want ErrHorizon", err)
+	}
+	if k.Now() != 5 {
+		t.Errorf("Now = %g, want 5", k.Now())
+	}
+}
+
+func TestProcessPanicSurfacesAsError(t *testing.T) {
+	k := NewKernel(Config{})
+	k.Spawn("boom", func(p *Proc) {
+		p.Sleep(1)
+		panic("kaboom")
+	})
+	err := k.Run()
+	if err == nil {
+		t.Fatal("expected error from panicking process")
+	}
+}
+
+func TestSpawnFromRunningProcess(t *testing.T) {
+	k := NewKernel(Config{})
+	var childTime float64 = -1
+	k.Spawn("parent", func(p *Proc) {
+		p.Sleep(2)
+		p.k.Spawn("child", func(c *Proc) {
+			c.Sleep(1)
+			childTime = c.Now()
+		})
+		p.Sleep(5)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childTime != 3 {
+		t.Errorf("childTime = %g, want 3", childTime)
+	}
+}
+
+func TestFailAborts(t *testing.T) {
+	k := NewKernel(Config{})
+	sentinel := errors.New("sentinel")
+	k.Spawn("a", func(p *Proc) {
+		p.Sleep(1)
+		p.k.Fail(sentinel)
+		p.Sleep(100) // should never complete
+	})
+	err := k.Run()
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if k.Now() > 1 {
+		t.Errorf("clock advanced past Fail: %g", k.Now())
+	}
+}
+
+func TestManyProcessesCompleteInTimeOrder(t *testing.T) {
+	k := NewKernel(Config{Seed: 42})
+	const n = 50
+	type fin struct {
+		id int
+		t  float64
+	}
+	var fins []fin
+	for i := 0; i < n; i++ {
+		i := i
+		d := float64((i*37)%n) * 0.1
+		k.Spawn("p", func(p *Proc) {
+			p.Sleep(d)
+			fins = append(fins, fin{i, p.Now()})
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fins) != n {
+		t.Fatalf("finished %d, want %d", len(fins), n)
+	}
+	if !sort.SliceIsSorted(fins, func(a, b int) bool { return fins[a].t < fins[b].t }) {
+		// equal times allowed; check non-decreasing
+		for i := 1; i < len(fins); i++ {
+			if fins[i].t < fins[i-1].t {
+				t.Fatalf("completion times not monotone at %d: %v < %v", i, fins[i].t, fins[i-1].t)
+			}
+		}
+	}
+}
+
+// Property: the virtual clock observed by a process after a series of sleeps
+// equals the prefix sum of the sleep durations, regardless of other load.
+func TestClockEqualsPrefixSumProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) > 12 {
+			raw = raw[:12]
+		}
+		k := NewKernel(Config{})
+		// Background noise process.
+		k.Spawn("noise", func(p *Proc) {
+			for i := 0; i < 5; i++ {
+				p.Sleep(0.3)
+			}
+		})
+		ok := true
+		k.Spawn("subject", func(p *Proc) {
+			sum := 0.0
+			for _, r := range raw {
+				d := float64(r) / 16.0
+				p.Sleep(d)
+				sum += d
+				if math.Abs(p.Now()-sum) > 1e-9 {
+					ok = false
+				}
+			}
+		})
+		if err := k.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEventQueueOrdering(t *testing.T) {
+	var q eventQueue
+	times := []float64{5, 1, 3, 1, 2}
+	for i, tt := range times {
+		i := i
+		_ = i
+		q.push(&event{t: tt, seq: uint64(i)})
+	}
+	if q.len() != 5 {
+		t.Fatalf("len = %d", q.len())
+	}
+	var got []float64
+	var seqAtT1 []uint64
+	for {
+		ev := q.pop()
+		if ev == nil {
+			break
+		}
+		got = append(got, ev.t)
+		if ev.t == 1 {
+			seqAtT1 = append(seqAtT1, ev.seq)
+		}
+	}
+	want := []float64{1, 1, 2, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+	if len(seqAtT1) != 2 || seqAtT1[0] > seqAtT1[1] {
+		t.Errorf("tie not broken by seq: %v", seqAtT1)
+	}
+}
