@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short bench results results-ext cover fmt vet examples
+.PHONY: all build test test-short bench race results results-ext faults cover fmt vet examples
 
 all: build vet test
 
@@ -17,6 +17,10 @@ test:
 test-short:
 	go test -short ./...
 
+# The realtime substrate is the only package with real concurrency.
+race:
+	go test -race ./internal/realtime/...
+
 bench:
 	go test -bench=. -benchmem ./...
 
@@ -27,6 +31,10 @@ results:
 # Regenerate the extension studies (results_ext.txt).
 results-ext:
 	go run ./cmd/specbench -exp ext -chart=false > results_ext.txt
+
+# Fault-injection study: loss, delay spikes, straggler (quick configuration).
+faults:
+	go run ./cmd/specbench -quick -faults
 
 cover:
 	go test -cover ./...

@@ -21,8 +21,9 @@ import (
 func main() {
 	var (
 		exp = flag.String("exp", "all",
-			"experiment id: all, ext, or any of fig2, fig4, fig5, fig6, fig8, table2, table3, fig9, ext-fw, ext-bw, ext-async, ext-load, ext-topo")
+			"experiment id: all, ext, or any of fig2, fig4, fig5, fig6, fig8, table2, table3, fig9, ext-fw, ext-bw, ext-async, ext-load, ext-topo, ext-faults")
 		quick  = flag.Bool("quick", false, "use the scaled-down configuration")
+		fault  = flag.Bool("faults", false, "shorthand for -exp ext-faults: run under an unreliable network")
 		n      = flag.Int("n", 0, "override particle count")
 		iters  = flag.Int("iters", 0, "override iteration count")
 		procs  = flag.Int("procs", 0, "override machine-set size")
@@ -54,7 +55,10 @@ func main() {
 	case "all":
 		ids = []string{"fig2", "fig4", "fig5", "fig6", "fig8", "table2", "table3", "fig9"}
 	case "ext":
-		ids = []string{"ext-fw", "ext-bw", "ext-async", "ext-load", "ext-topo", "ext-apps"}
+		ids = []string{"ext-fw", "ext-bw", "ext-async", "ext-load", "ext-topo", "ext-apps", "ext-faults"}
+	}
+	if *fault {
+		ids = []string{"ext-faults"}
 	}
 	for _, id := range ids {
 		rep, err := run(strings.TrimSpace(id), cfg)
@@ -112,6 +116,8 @@ func run(id string, cfg experiments.NBodyConfig) (experiments.Report, error) {
 		return experiments.ExtTopology(cfg)
 	case "ext-apps":
 		return experiments.ExtApps(cfg)
+	case "ext-faults":
+		return experiments.ExtFaults(cfg)
 	default:
 		return experiments.Report{}, fmt.Errorf("unknown experiment %q", id)
 	}

@@ -28,6 +28,9 @@ const (
 	PhaseSpec
 	PhaseCheck
 	PhaseCorrect
+	// PhaseOverrun is compute performed past the forward window while a peer
+	// is overdue — the engine's graceful-degradation mode.
+	PhaseOverrun
 	PhaseOther
 	numPhases
 )
@@ -45,6 +48,8 @@ func (ph Phase) String() string {
 		return "check"
 	case PhaseCorrect:
 		return "correct"
+	case PhaseOverrun:
+		return "overrun"
 	default:
 		return "other"
 	}
@@ -56,6 +61,11 @@ type Machine struct {
 	Ops  float64 // capacity M_i: operations per second
 }
 
+// NoMsgHeader is the Config.MsgHeaderBytes sentinel for a network with zero
+// protocol framing overhead. (The zero value of MsgHeaderBytes selects the
+// 64-byte default, so "explicitly no header" needs its own value.)
+const NoMsgHeader = -1
+
 // Config parameterizes a Cluster.
 type Config struct {
 	Machines []Machine
@@ -63,7 +73,8 @@ type Config struct {
 	Seed     int64
 	Horizon  float64 // optional virtual-time limit
 	// MsgHeaderBytes is added to every message's payload size when computing
-	// network delays (protocol framing). Defaults to 64 if zero.
+	// network delays (protocol framing). Zero selects the default of 64;
+	// use NoMsgHeader (-1) to model a network with no framing overhead.
 	MsgHeaderBytes int
 	// SendOps is the CPU cost, in operations, charged to the sender per
 	// message (packing and protocol work).
@@ -71,9 +82,33 @@ type Config struct {
 	// OnSpan, if non-nil, receives every interval of virtual time a
 	// processor spends in a phase (used to render execution timelines).
 	OnSpan func(proc int, ph Phase, start, end float64)
+	// OnEvent, if non-nil, receives point events — reliable-layer
+	// retransmissions ("retrans"), duplicate suppressions ("dup"), abandoned
+	// messages ("giveup"), and engine notes such as degradation overruns —
+	// for timeline rendering alongside OnSpan.
+	OnEvent func(proc int, kind string, t float64)
 	// Load models background CPU competition on the timeshared machines;
 	// nil means dedicated machines (factor 1).
 	Load LoadModel
+
+	// Reliable enables a reliable-delivery layer over the (possibly faulty)
+	// network: every message carries a per-link sequence number, receivers
+	// acknowledge each delivery, and senders retransmit unacknowledged
+	// messages after RetryTimeout with exponential backoff. Duplicate
+	// deliveries (from the network or from retransmissions whose ack was
+	// lost) are suppressed at the receiver. Acks travel through the same
+	// network model as data and can themselves be lost.
+	Reliable bool
+	// RetryTimeout is the initial retransmission timeout in virtual seconds
+	// (default 0.5).
+	RetryTimeout float64
+	// RetryBackoff multiplies the timeout after every retransmission
+	// (default 2).
+	RetryBackoff float64
+	// MaxRetries bounds retransmissions per message (default 12); after
+	// that the message is abandoned and the per-processor give-up counter
+	// increments.
+	MaxRetries int
 }
 
 // Message is a tagged payload exchanged between processors.
@@ -107,6 +142,22 @@ func New(cfg Config) *Cluster {
 	if cfg.MsgHeaderBytes == 0 {
 		cfg.MsgHeaderBytes = 64
 	}
+	if cfg.MsgHeaderBytes < 0 {
+		cfg.MsgHeaderBytes = 0
+	}
+	if cfg.RetryTimeout <= 0 {
+		cfg.RetryTimeout = 0.5
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = 2
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 12
+	}
+	// Stateful models (e.g. a SharedBus mid-backlog) must start fresh: the
+	// virtual clock restarts at 0 for every cluster, so stale state would
+	// silently inflate every delay of the new run.
+	netmodel.ResetModel(cfg.Net)
 	return &Cluster{
 		kernel: simtime.NewKernel(simtime.Config{Seed: cfg.Seed, Horizon: cfg.Horizon}),
 		cfg:    cfg,
@@ -129,6 +180,16 @@ func (c *Cluster) Start(body func(*Proc)) {
 	}
 	for i, m := range c.cfg.Machines {
 		p := &Proc{c: c, id: i, mach: m}
+		if c.cfg.Reliable {
+			n := len(c.cfg.Machines)
+			p.nextSeq = make([]uint64, n)
+			p.unacked = make([]map[uint64]*pendingMsg, n)
+			p.seen = make([]map[uint64]bool, n)
+			for k := 0; k < n; k++ {
+				p.unacked[k] = make(map[uint64]*pendingMsg)
+				p.seen[k] = make(map[uint64]bool)
+			}
+		}
 		c.procs = append(c.procs, p)
 	}
 	for _, p := range c.procs {
@@ -150,6 +211,16 @@ func (f filter) matches(m Message) bool {
 	return (f.src == Any || m.Src == f.src) && (f.tag == Any || m.Tag == f.tag)
 }
 
+// pendingMsg is one unacknowledged reliable-layer transmission.
+type pendingMsg struct {
+	msg     Message
+	seq     uint64
+	bytes   int
+	timeout float64 // current retransmission timeout (grows by RetryBackoff)
+	retries int
+	acked   bool
+}
+
 // Proc is one simulated processor.
 type Proc struct {
 	c    *Cluster
@@ -165,6 +236,15 @@ type Proc struct {
 	msgsRecvd int
 	bytesSent int
 	maxQueue  int
+
+	// Reliable-delivery state (nil unless Config.Reliable).
+	nextSeq     []uint64                  // per-destination next sequence number
+	unacked     []map[uint64]*pendingMsg  // per-destination outstanding messages
+	seen        []map[uint64]bool         // per-source delivered sequence numbers
+	retries     int
+	dupsDropped int
+	giveUps     int
+	acksSent    int
 }
 
 // ID returns the processor index (0-based).
@@ -188,6 +268,42 @@ func (p *Proc) PhaseTime(ph Phase) float64 { return p.clocks[ph] }
 // Stats returns message counters: messages sent, messages received, bytes sent.
 func (p *Proc) Stats() (sent, recvd, bytes int) {
 	return p.msgsSent, p.msgsRecvd, p.bytesSent
+}
+
+// NetStats aggregates a processor's transport-level counters, including the
+// reliable-delivery layer's retry behaviour.
+type NetStats struct {
+	MsgsSent    int // logical messages passed to Send
+	MsgsRecvd   int // messages consumed by TryRecv/Recv
+	BytesSent   int // payload+header bytes of logical sends
+	Retries     int // reliable-layer retransmissions
+	DupsDropped int // duplicate deliveries suppressed at the receiver
+	GiveUps     int // messages abandoned after MaxRetries
+	AcksSent    int // acknowledgements transmitted
+}
+
+// NetStats returns the processor's transport-level counters.
+func (p *Proc) NetStats() NetStats {
+	return NetStats{
+		MsgsSent:    p.msgsSent,
+		MsgsRecvd:   p.msgsRecvd,
+		BytesSent:   p.bytesSent,
+		Retries:     p.retries,
+		DupsDropped: p.dupsDropped,
+		GiveUps:     p.giveUps,
+		AcksSent:    p.acksSent,
+	}
+}
+
+// Note records a point event on the cluster's OnEvent hook at the current
+// virtual time — used by the engine to mark overruns and reconciliations.
+func (p *Proc) Note(kind string) { p.c.event(p.id, kind) }
+
+// event forwards a point event to the OnEvent hook, if any.
+func (c *Cluster) event(proc int, kind string) {
+	if f := c.cfg.OnEvent; f != nil {
+		f(proc, kind, c.kernel.Now())
+	}
 }
 
 // MaxQueueLen returns the high-water mark of the mailbox length.
@@ -249,17 +365,105 @@ func (p *Proc) Send(dst, tag, iter int, data []float64) {
 	}
 	p.msgsSent++
 	p.bytesSent += bytes
-	delay := p.c.cfg.Net.Delay(netmodel.Msg{
-		Src: p.id, Dst: dst, Bytes: bytes, Procs: p.c.P(), Now: p.Now(),
-	}, p.c.kernel.Rand())
-	if delay < 0 {
-		panic("cluster: negative network delay")
+	if p.c.cfg.Reliable {
+		seq := p.nextSeq[dst]
+		p.nextSeq[dst]++
+		pm := &pendingMsg{msg: msg, seq: seq, bytes: bytes, timeout: p.c.cfg.RetryTimeout}
+		p.unacked[dst][seq] = pm
+		p.transmit(dst, pm)
+		return
 	}
 	dstProc := p.c.procs[dst]
-	p.c.kernel.Schedule(delay, func() {
-		msg.DeliveredAt = p.c.kernel.Now()
-		dstProc.deliver(msg)
-	})
+	for _, delay := range netmodel.DeliveriesOf(p.c.cfg.Net, netmodel.Msg{
+		Src: p.id, Dst: dst, Bytes: bytes, Procs: p.c.P(), Now: p.Now(),
+	}, p.c.kernel.Rand()) {
+		if delay < 0 {
+			panic("cluster: negative network delay")
+		}
+		m := msg
+		p.c.kernel.Schedule(delay, func() {
+			m.DeliveredAt = p.c.kernel.Now()
+			dstProc.deliver(m)
+		})
+	}
+}
+
+// transmit performs one physical transmission of an unacknowledged message
+// and arms the retransmission timer. First transmissions run in the sending
+// process's context; retransmissions run in kernel (timer) context, so no
+// CPU time is charged for them.
+func (p *Proc) transmit(dst int, pm *pendingMsg) {
+	dstProc := p.c.procs[dst]
+	for _, delay := range netmodel.DeliveriesOf(p.c.cfg.Net, netmodel.Msg{
+		Src: p.id, Dst: dst, Bytes: pm.bytes, Procs: p.c.P(), Now: p.c.kernel.Now(),
+	}, p.c.kernel.Rand()) {
+		if delay < 0 {
+			panic("cluster: negative network delay")
+		}
+		m := pm.msg
+		seq := pm.seq
+		p.c.kernel.Schedule(delay, func() {
+			m.DeliveredAt = p.c.kernel.Now()
+			dstProc.deliverReliable(m, seq)
+		})
+	}
+	p.c.kernel.Schedule(pm.timeout, func() { p.retransmit(dst, pm) })
+}
+
+// retransmit runs in kernel context when a retransmission timer fires.
+func (p *Proc) retransmit(dst int, pm *pendingMsg) {
+	if pm.acked {
+		return
+	}
+	if pm.retries >= p.c.cfg.MaxRetries {
+		p.giveUps++
+		delete(p.unacked[dst], pm.seq)
+		p.c.event(p.id, "giveup")
+		return
+	}
+	pm.retries++
+	pm.timeout *= p.c.cfg.RetryBackoff
+	p.retries++
+	p.c.event(p.id, "retrans")
+	p.transmit(dst, pm)
+}
+
+// deliverReliable runs in kernel context on the receiving processor: it
+// acknowledges the transmission, suppresses duplicates, and hands first
+// deliveries to the mailbox.
+func (p *Proc) deliverReliable(m Message, seq uint64) {
+	p.sendAck(m.Src, seq)
+	if p.seen[m.Src][seq] {
+		p.dupsDropped++
+		p.c.event(p.id, "dup")
+		return
+	}
+	p.seen[m.Src][seq] = true
+	p.deliver(m)
+}
+
+// sendAck transmits an acknowledgement back through the network model; like
+// data, acks can be lost or duplicated by a faulty model.
+func (p *Proc) sendAck(src int, seq uint64) {
+	p.acksSent++
+	srcProc := p.c.procs[src]
+	from := p.id
+	for _, delay := range netmodel.DeliveriesOf(p.c.cfg.Net, netmodel.Msg{
+		Src: p.id, Dst: src, Bytes: p.c.cfg.MsgHeaderBytes, Procs: p.c.P(), Now: p.c.kernel.Now(),
+	}, p.c.kernel.Rand()) {
+		if delay < 0 {
+			panic("cluster: negative network delay")
+		}
+		p.c.kernel.Schedule(delay, func() { srcProc.ackReceived(from, seq) })
+	}
+}
+
+// ackReceived runs in kernel context on the original sender.
+func (p *Proc) ackReceived(from int, seq uint64) {
+	if pm, ok := p.unacked[from][seq]; ok {
+		pm.acked = true
+		delete(p.unacked[from], seq)
+	}
 }
 
 // deliver runs in kernel context: enqueue and wake a matching waiter.
@@ -297,6 +501,37 @@ func (p *Proc) Recv(src, tag int) Message {
 		}
 		f := filter{src: src, tag: tag}
 		p.want = &f
+		before := p.Now()
+		p.sp.Park()
+		p.clocks[PhaseComm] += p.Now() - before
+		p.span(PhaseComm, before)
+	}
+}
+
+// RecvDeadline blocks until a message matching (src, tag) arrives or
+// timeout seconds of virtual time elapse, whichever comes first. The second
+// return value is false when the deadline expired with no matching message.
+// Time spent blocked is attributed to the comm phase.
+func (p *Proc) RecvDeadline(src, tag int, timeout float64) (Message, bool) {
+	deadline := p.Now() + timeout
+	for {
+		if m, ok := p.TryRecv(src, tag); ok {
+			return m, true
+		}
+		if p.Now() >= deadline {
+			return Message{}, false
+		}
+		f := filter{src: src, tag: tag}
+		fp := &f
+		p.want = fp
+		p.c.kernel.Schedule(deadline-p.Now(), func() {
+			// Wake the receiver only if it is still parked on this exact
+			// wait; a delivery (or an older timer) may have beaten us.
+			if p.want == fp {
+				p.want = nil
+				p.c.kernel.Unblock(p.sp)
+			}
+		})
 		before := p.Now()
 		p.sp.Park()
 		p.clocks[PhaseComm] += p.Now() - before

@@ -3,6 +3,7 @@ package cluster
 import (
 	"errors"
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -315,5 +316,217 @@ func TestFIFOOrderProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
+	}
+}
+
+// dropFirstN is a deterministic FaultyModel that loses the first N
+// transmissions it sees, then delivers everything.
+type dropFirstN struct {
+	inner netmodel.Model
+	n     int
+	seen  int
+}
+
+func (m *dropFirstN) Delay(msg netmodel.Msg, rng *rand.Rand) float64 {
+	return m.inner.Delay(msg, rng)
+}
+
+func (m *dropFirstN) Deliveries(msg netmodel.Msg, rng *rand.Rand) []float64 {
+	m.seen++
+	if m.seen <= m.n {
+		return nil
+	}
+	return []float64{m.inner.Delay(msg, rng)}
+}
+
+func TestSharedBusResetOnReuse(t *testing.T) {
+	// Regression: reusing one SharedBus value across sequential simulations
+	// must not carry busyUntil over — the second run's virtual clock
+	// restarts at 0, so stale state would inflate every delay.
+	bus := &netmodel.SharedBus{Overhead: 1}
+	run := func() float64 {
+		c := New(Config{
+			Machines: []Machine{{Name: "a", Ops: 100}, {Name: "b", Ops: 100}},
+			Net:      bus,
+		})
+		var recvAt float64
+		c.Start(func(p *Proc) {
+			if p.ID() == 0 {
+				p.Send(1, 1, 0, []float64{1})
+				p.Send(1, 2, 0, []float64{2})
+			} else {
+				p.Recv(0, 1)
+				p.Recv(0, 2)
+				recvAt = p.Now()
+			}
+		})
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return recvAt
+	}
+	first := run()
+	second := run()
+	if first != second {
+		t.Errorf("reused SharedBus inflated delays: first run recv at %g, second at %g", first, second)
+	}
+}
+
+func TestMsgHeaderBytesSentinel(t *testing.T) {
+	run := func(header int) int {
+		c := New(Config{
+			Machines:       []Machine{{Name: "a", Ops: 100}, {Name: "b", Ops: 100}},
+			Net:            netmodel.Fixed{D: 0.1},
+			MsgHeaderBytes: header,
+		})
+		c.Start(func(p *Proc) {
+			if p.ID() == 0 {
+				p.Send(1, 1, 0, []float64{1, 2})
+			} else {
+				p.Recv(0, 1)
+			}
+		})
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		_, _, bytes := c.Proc(0).Stats()
+		return bytes
+	}
+	if got := run(0); got != 16+64 {
+		t.Errorf("default header: bytesSent = %d, want %d", got, 16+64)
+	}
+	if got := run(NoMsgHeader); got != 16 {
+		t.Errorf("NoMsgHeader: bytesSent = %d, want 16 (zero framing)", got)
+	}
+	if got := run(10); got != 16+10 {
+		t.Errorf("explicit header: bytesSent = %d, want %d", got, 16+10)
+	}
+}
+
+func TestReliableDeliveryRecoversDrops(t *testing.T) {
+	// The first two transmissions vanish; the reliable layer must retransmit
+	// until the message lands, and count the retries.
+	c := New(Config{
+		Machines:     []Machine{{Name: "a", Ops: 100}, {Name: "b", Ops: 100}},
+		Net:          &dropFirstN{inner: netmodel.Fixed{D: 0.1}, n: 2},
+		Reliable:     true,
+		RetryTimeout: 0.5,
+	})
+	var got Message
+	c.Start(func(p *Proc) {
+		if p.ID() == 0 {
+			p.Send(1, 7, 3, []float64{42})
+		} else {
+			got = p.Recv(0, 7)
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Data) != 1 || got.Data[0] != 42 {
+		t.Fatalf("message not recovered: %+v", got)
+	}
+	ns := c.Proc(0).NetStats()
+	if ns.Retries != 2 {
+		t.Errorf("Retries = %d, want 2", ns.Retries)
+	}
+	if ns.MsgsSent != 1 {
+		t.Errorf("MsgsSent = %d, want 1 (logical sends)", ns.MsgsSent)
+	}
+}
+
+func TestWithoutReliableDropDeadlocks(t *testing.T) {
+	c := New(Config{
+		Machines: []Machine{{Name: "a", Ops: 100}, {Name: "b", Ops: 100}},
+		Net:      &dropFirstN{inner: netmodel.Fixed{D: 0.1}, n: 1},
+	})
+	c.Start(func(p *Proc) {
+		if p.ID() == 0 {
+			p.Send(1, 7, 0, nil)
+		} else {
+			p.Recv(0, 7)
+		}
+	})
+	if err := c.Run(); !errors.Is(err, simtime.ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+// duplicateAll delivers every transmission twice.
+type duplicateAll struct{ inner netmodel.Model }
+
+func (m duplicateAll) Delay(msg netmodel.Msg, rng *rand.Rand) float64 {
+	return m.inner.Delay(msg, rng)
+}
+
+func (m duplicateAll) Deliveries(msg netmodel.Msg, rng *rand.Rand) []float64 {
+	d := m.inner.Delay(msg, rng)
+	return []float64{d, d + 0.05}
+}
+
+func TestReliableDeliverySuppressesDuplicates(t *testing.T) {
+	c := New(Config{
+		Machines: []Machine{{Name: "a", Ops: 100}, {Name: "b", Ops: 100}},
+		Net:      duplicateAll{inner: netmodel.Fixed{D: 0.1}},
+		Reliable: true,
+	})
+	var recvd int
+	c.Start(func(p *Proc) {
+		if p.ID() == 0 {
+			p.Send(1, 7, 0, []float64{1})
+			p.Send(1, 7, 1, []float64{2})
+		} else {
+			p.Recv(0, 7)
+			p.Recv(0, 7)
+			p.Idle(1) // let the duplicate copies arrive
+			for {
+				if _, ok := p.TryRecv(Any, Any); !ok {
+					break
+				}
+				recvd++
+			}
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if recvd != 0 {
+		t.Errorf("%d duplicate messages leaked into the mailbox", recvd)
+	}
+	if dups := c.Proc(1).NetStats().DupsDropped; dups == 0 {
+		t.Error("no duplicates suppressed, expected some")
+	}
+}
+
+func TestRecvDeadlineTimesOutAndRecovers(t *testing.T) {
+	c := New(Config{
+		Machines: []Machine{{Name: "a", Ops: 100}, {Name: "b", Ops: 100}},
+		Net:      netmodel.Fixed{D: 2},
+	})
+	var timedOut bool
+	var gotLate bool
+	var wakeAt float64
+	c.Start(func(p *Proc) {
+		if p.ID() == 0 {
+			p.Send(1, 7, 0, []float64{1})
+		} else {
+			_, ok := p.RecvDeadline(0, 7, 0.5)
+			timedOut = !ok
+			wakeAt = p.Now()
+			_, ok = p.RecvDeadline(0, 7, 5)
+			gotLate = ok
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !timedOut {
+		t.Error("RecvDeadline did not time out before delivery")
+	}
+	if wakeAt != 0.5 {
+		t.Errorf("timed out at %g, want 0.5", wakeAt)
+	}
+	if !gotLate {
+		t.Error("second RecvDeadline missed the late message")
 	}
 }

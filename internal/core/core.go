@@ -51,6 +51,31 @@ type Transport interface {
 
 var _ Transport = (*cluster.Proc)(nil)
 
+// DeadlineReceiver is an optional Transport extension providing a receive
+// bounded by a timeout (in the transport's time unit). ok=false means the
+// deadline elapsed with no matching message. The engine requires it for
+// graceful degradation (Config.Deadline); transports without it fall back
+// to blocking receives.
+type DeadlineReceiver interface {
+	RecvDeadline(src, tag int, timeout float64) (cluster.Message, bool)
+}
+
+var _ DeadlineReceiver = (*cluster.Proc)(nil)
+
+// Noter is an optional Transport extension for point-event timeline marks
+// (overruns, reconciliations). The simulated cluster forwards notes to its
+// OnEvent hook.
+type Noter interface {
+	Note(kind string)
+}
+
+// NetStatser is an optional Transport extension exposing transport-level
+// counters (retransmissions, duplicate suppressions); the engine copies
+// them into Stats.Net at the end of a run.
+type NetStatser interface {
+	NetStats() cluster.NetStats
+}
+
 // CheckResult reports the outcome of validating one speculated message.
 type CheckResult struct {
 	Bad   int     // check units out of tolerance
@@ -160,6 +185,17 @@ type Config struct {
 	// computed partition until its inputs have been validated (ablation of
 	// the "speculative sends" design decision).
 	HoldSends bool
+	// Deadline, when positive (and FW >= 1), enables graceful degradation:
+	// validation stops blocking on an overdue peer after waiting Deadline
+	// seconds and instead lets speculation extend past the forward window,
+	// reconciling (check + repair + cascade) when the real message finally
+	// lands. Zero keeps the classical behaviour of blocking indefinitely.
+	// Requires a DeadlineReceiver transport to take effect.
+	Deadline float64
+	// MaxOverrun bounds how many iterations past the forward window the
+	// engine may run on unreconciled speculation before it blocks hard on
+	// the overdue peer. Defaults to 2 when Deadline is set.
+	MaxOverrun int
 }
 
 // Stats aggregates one processor's speculation behaviour over a run.
@@ -172,13 +208,20 @@ type Stats struct {
 	UnitsTotal   int64
 	Repairs      int // iterations repaired after a failed check
 	CascadeRedos int // later iterations recomputed due to an upstream repair
+	Overruns     int // validations deferred past a Deadline expiry
+	Reconciles   int // overrun iterations later validated against the real message
 
 	ComputeTime float64
 	CommTime    float64
 	SpecTime    float64
 	CheckTime   float64
 	CorrectTime float64
+	OverrunTime float64 // compute performed past the forward window (degraded mode)
 	TotalTime   float64
+
+	// Net holds transport-level counters (retransmissions, duplicate
+	// suppressions) when the transport exposes them; zero otherwise.
+	Net cluster.NetStats
 }
 
 // BadFraction returns the fraction of validated predictions that exceeded
@@ -209,26 +252,38 @@ type Result struct {
 	Stats     Stats
 }
 
+// histEntry is one validated snapshot in a peer's backward-window ring,
+// tagged with the iteration it belongs to so the speculation base is
+// correct for any exchange pattern.
+type histEntry struct {
+	iter int
+	data []float64
+}
+
 // engine is the per-processor execution state.
 type engine struct {
 	p   Transport
 	app App
 	cfg Config
 
-	spec    Speculator // nil unless app implements it
-	pub     Publisher  // nil unless app implements it
-	stopper Stopper    // nil unless app implements it
-	corr    Corrector  // nil unless app implements it
-	nbrs    Neighbors  // nil unless app implements it
+	spec    Speculator       // nil unless app implements it
+	pub     Publisher        // nil unless app implements it
+	stopper Stopper          // nil unless app implements it
+	corr    Corrector        // nil unless app implements it
+	nbrs    Neighbors        // nil unless app implements it
+	dr      DeadlineReceiver // nil unless the transport implements it
+	noter   Noter            // nil unless the transport implements it
 
 	stopped  bool // converged early
 	stopIter int  // iteration at which Done reported true
 
 	// received[k][t] holds the actual snapshot of peer k at iteration t.
 	received []map[int][]float64
-	// newestActual[k] is the newest iteration for which an actual snapshot
-	// from k has been consumed into history; -1 before any.
-	hist []*history.Ring[[]float64]
+	// hist[k] holds peer k's validated snapshots, tagged with iteration.
+	hist []*history.Ring[histEntry]
+	// overrun marks iterations whose validation was deferred past a
+	// Deadline expiry and still awaits reconciliation.
+	overrun map[int]bool
 	// own[t] is the local partition at iteration t.
 	own map[int][]float64
 	// views[t] is the assembled global view used to compute own[t+1].
@@ -264,16 +319,26 @@ func Run(p Transport, app App, cfg Config) (Result, error) {
 			cfg.BW = 2
 		}
 	}
+	if cfg.Deadline < 0 {
+		return Result{}, fmt.Errorf("core: negative Deadline")
+	}
+	if cfg.Deadline > 0 && cfg.MaxOverrun <= 0 {
+		cfg.MaxOverrun = 2
+	}
+	if cfg.Deadline == 0 {
+		cfg.MaxOverrun = 0
+	}
 	e := &engine{
 		p:   p,
 		app: app,
 		cfg: cfg,
 
 		received:  make([]map[int][]float64, p.P()),
-		hist:      make([]*history.Ring[[]float64], p.P()),
+		hist:      make([]*history.Ring[histEntry], p.P()),
 		own:       make(map[int][]float64),
 		views:     make(map[int][][]float64),
 		preds:     make(map[int][][]float64),
+		overrun:   make(map[int]bool),
 		validated: -1,
 		frontier:  -1,
 	}
@@ -292,12 +357,18 @@ func Run(p Transport, app App, cfg Config) (Result, error) {
 	if nb, ok := app.(Neighbors); ok {
 		e.nbrs = nb
 	}
+	if d, ok := p.(DeadlineReceiver); ok {
+		e.dr = d
+	}
+	if n, ok := p.(Noter); ok {
+		e.noter = n
+	}
 	for k := 0; k < p.P(); k++ {
 		if k == p.ID() {
 			continue
 		}
 		e.received[k] = make(map[int][]float64)
-		e.hist[k] = history.NewRing[[]float64](cfg.BW)
+		e.hist[k] = history.NewRing[histEntry](cfg.BW)
 	}
 	e.run()
 	e.stats.Iters = cfg.MaxIter
@@ -309,7 +380,11 @@ func Run(p Transport, app App, cfg Config) (Result, error) {
 	e.stats.SpecTime = p.PhaseTime(cluster.PhaseSpec)
 	e.stats.CheckTime = p.PhaseTime(cluster.PhaseCheck)
 	e.stats.CorrectTime = p.PhaseTime(cluster.PhaseCorrect)
+	e.stats.OverrunTime = p.PhaseTime(cluster.PhaseOverrun)
 	e.stats.TotalTime = p.Now()
+	if ns, ok := p.(NetStatser); ok {
+		e.stats.Net = ns.NetStats()
+	}
 	final := e.own[cfg.MaxIter]
 	if e.stopped {
 		final = e.own[e.stopIter+1]
@@ -329,7 +404,13 @@ func (e *engine) run() {
 		view := e.assembleView(t)
 		e.views[t] = view
 		next := e.app.Compute(view, t)
-		e.p.Compute(e.app.ComputeOps(), cluster.PhaseCompute)
+		ph := cluster.PhaseCompute
+		if e.degrading() && t-e.validated > e.cfg.FW {
+			// Running past the forward window on an overdue peer's
+			// speculation: account the compute as overrun.
+			ph = cluster.PhaseOverrun
+		}
+		e.p.Compute(e.app.ComputeOps(), ph)
 		e.own[t+1] = next
 		e.frontier = t
 		// Keep at most FW iterations resting on unvalidated inputs: after
@@ -340,13 +421,31 @@ func (e *engine) run() {
 		if lag > t {
 			lag = t // FW=0: iteration t's inputs were already actual
 		}
-		if lag >= 0 {
-			e.validateThrough(lag)
+		if lag < 0 {
+			continue
 		}
+		if !e.degrading() {
+			e.validateThrough(lag)
+			continue
+		}
+		// Graceful degradation: wait at most Deadline per overdue peer, then
+		// let speculation overrun the forward window — but never by more
+		// than MaxOverrun iterations, beyond which we block hard.
+		if floor := lag - e.cfg.MaxOverrun; floor >= 0 {
+			e.validateThrough(floor)
+		}
+		e.tryValidateThrough(lag)
 	}
 	if !e.stopped {
 		e.validateThrough(e.cfg.MaxIter - 1)
 	}
+}
+
+// degrading reports whether deadline-based graceful degradation is active.
+// It needs speculation (FW >= 1) and a transport that can time out a
+// receive; HoldSends keeps its strict validate-before-send semantics.
+func (e *engine) degrading() bool {
+	return e.cfg.Deadline > 0 && e.cfg.FW >= 1 && !e.cfg.HoldSends && e.dr != nil
 }
 
 // broadcast sends the local partition (or its published projection) for
@@ -445,7 +544,7 @@ func (e *engine) speculate(k, t int) []float64 {
 	// newest-first history from it.
 	var hist [][]float64
 	base := -1
-	for s := t - 1; s >= 0 && s >= t-e.cfg.BW-e.cfg.FW; s-- {
+	for s := t - 1; s >= 0 && s >= t-e.cfg.BW-e.cfg.FW-e.cfg.MaxOverrun; s-- {
 		if v, ok := e.received[k][s]; ok {
 			base = s
 			hist = append(hist, v)
@@ -464,8 +563,10 @@ func (e *engine) speculate(k, t int) []float64 {
 		if e.hist[k].Len() == 0 {
 			return nil
 		}
-		hist = e.hist[k].NewestFirst()
-		base = e.histNewestIter(k)
+		for _, h := range e.hist[k].NewestFirst() {
+			hist = append(hist, h.data)
+		}
+		base = e.hist[k].At(0).iter
 	}
 	steps := t - base
 	if steps < 1 {
@@ -483,20 +584,89 @@ func (e *engine) speculate(k, t int) []float64 {
 	return pred
 }
 
-// histNewestIter returns the iteration number of the newest ring entry for
-// peer k. The ring is only used as a fallback; entries are pushed in
-// iteration order during validation, so the newest is `validated`.
-func (e *engine) histNewestIter(k int) int { return e.validated }
-
 // validateThrough blocks until every iteration up to and including t has all
 // its speculated inputs checked against actual messages, repairing and
 // cascading recomputations as needed.
 func (e *engine) validateThrough(t int) {
 	for s := e.validated + 1; s <= t && !e.stopped; s++ {
-		e.validateIter(s)
-		e.validated = s
-		e.checkConverged(s)
-		e.retire(s)
+		e.finishIter(s)
+	}
+}
+
+// tryValidateThrough is validateThrough with a per-peer patience of
+// Config.Deadline: when an overdue peer's message does not arrive in time,
+// the iteration is marked as an overrun and validation is deferred —
+// speculation then extends past the forward window until either the
+// message lands (reconciliation) or the overrun budget forces a hard
+// block. Returns false when it gave up on an overdue peer.
+func (e *engine) tryValidateThrough(t int) bool {
+	for s := e.validated + 1; s <= t && !e.stopped; s++ {
+		if !e.collectActuals(s) {
+			if !e.overrun[s] {
+				e.overrun[s] = true
+				e.stats.Overruns++
+				e.note("overrun")
+			}
+			return false
+		}
+		e.finishIter(s)
+	}
+	return true
+}
+
+// finishIter validates, reconciles, and retires one iteration.
+func (e *engine) finishIter(s int) {
+	e.validateIter(s)
+	e.validated = s
+	if e.overrun[s] {
+		delete(e.overrun, s)
+		e.stats.Reconciles++
+		e.note("reconcile")
+	}
+	e.checkConverged(s)
+	e.retire(s)
+}
+
+// collectActuals waits, up to Deadline per overdue peer, until every needed
+// peer's iteration-s snapshot is stashed. Returns false on a deadline
+// expiry. On success the subsequent validateIter will not block.
+func (e *engine) collectActuals(s int) bool {
+	for k := 0; k < e.p.P(); k++ {
+		if k == e.p.ID() || !e.needs(k) {
+			continue
+		}
+		if !e.waitActual(k, s, e.cfg.Deadline) {
+			return false
+		}
+	}
+	return true
+}
+
+// waitActual blocks until peer k's iteration-t snapshot is stashed or
+// timeout elapses, stashing any other traffic that arrives meanwhile.
+func (e *engine) waitActual(k, t int, timeout float64) bool {
+	deadline := e.p.Now() + timeout
+	for {
+		if _, ok := e.received[k][t]; ok {
+			return true
+		}
+		remaining := deadline - e.p.Now()
+		if remaining <= 0 {
+			return false
+		}
+		m, ok := e.dr.RecvDeadline(cluster.Any, DataTag, remaining)
+		if !ok {
+			_, have := e.received[k][t]
+			return have
+		}
+		e.stash(m)
+	}
+}
+
+// note records a point event if the transport supports it.
+func (e *engine) note(kind string) {
+	if e.noter != nil {
+		e.noter.Note(kind)
 	}
 }
 
@@ -601,8 +771,8 @@ func (e *engine) validateIter(t int) {
 // are ordered too) and prunes stale stash entries.
 func (e *engine) actualIntoHistory(k, t int) {
 	v := e.actual(k, t)
-	e.hist[k].Push(v)
-	delete(e.received[k], t-e.cfg.BW-e.cfg.FW-1)
+	e.hist[k].Push(histEntry{iter: t, data: v})
+	delete(e.received[k], t-e.cfg.BW-e.cfg.FW-e.cfg.MaxOverrun-1)
 }
 
 // retire drops per-iteration bookkeeping no longer needed after validation.

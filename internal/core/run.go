@@ -56,6 +56,10 @@ type AggregateStats struct {
 	UnitsTotal   int64
 	Repairs      int
 	CascadeRedos int
+	Overruns     int
+	Reconciles   int
+	Retries      int // reliable-transport retransmissions
+	DupsDropped  int // duplicate deliveries suppressed
 
 	// Phase times of the processor that finished last (per whole run).
 	MaxCompute float64
@@ -79,6 +83,10 @@ func Aggregate(results []Result) AggregateStats {
 		a.UnitsTotal += s.UnitsTotal
 		a.Repairs += s.Repairs
 		a.CascadeRedos += s.CascadeRedos
+		a.Overruns += s.Overruns
+		a.Reconciles += s.Reconciles
+		a.Retries += s.Net.Retries
+		a.DupsDropped += s.Net.DupsDropped
 		if s.TotalTime > a.Total {
 			a.Total = s.TotalTime
 			lastIdx = i

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtFaultsSpeculationMasksRecoveryLatency(t *testing.T) {
+	cfg := QuickNBody()
+	rep, err := ExtFaults(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := rep.SeriesByName("fault-free")
+	faulty := rep.SeriesByName("faulty-reliable")
+	if clean == nil || faulty == nil || len(clean.Y) != 3 || len(faulty.Y) != 3 {
+		t.Fatalf("missing series: %+v", rep.Series)
+	}
+	// The unprotected blocking run must stall under loss.
+	deadlocked := false
+	for _, l := range rep.Lines {
+		if strings.Contains(l, "no retransmission") && strings.Contains(l, "deadlock") {
+			deadlocked = true
+		}
+	}
+	if !deadlocked {
+		t.Errorf("FW=0 without retransmission did not deadlock:\n%s", strings.Join(rep.Lines, "\n"))
+	}
+	// Reliable delivery recovers the losses at every FW, and speculation
+	// masks most of the recovery latency that blocking (FW=0) eats in full.
+	block0 := faulty.Y[0] / clean.Y[0]
+	spec1 := faulty.Y[1] / clean.Y[1]
+	if block0 <= 1.0 {
+		t.Errorf("faults did not slow the FW=0 reliable run: ratio %.3f", block0)
+	}
+	if spec1 >= block0 {
+		t.Errorf("FW=1 fault overhead ratio %.3f not below FW=0's %.3f — speculation masked nothing", spec1, block0)
+	}
+	// The faulty FW=1 run also still beats the faulty FW=0 run outright.
+	if faulty.Y[1] >= faulty.Y[0] {
+		t.Errorf("under faults, FW=1 (%v) does not beat FW=0 (%v)", faulty.Y[1], faulty.Y[0])
+	}
+}

@@ -1,0 +1,224 @@
+// Package faults provides composable fault injectors for the simulated
+// network. Each injector wraps any netmodel.Model (including another
+// injector) and perturbs its deliveries: messages can be lost, duplicated,
+// delayed by heavy-tailed spikes, cut off by a transient partition, or
+// slowed down by a straggling sender.
+//
+// All randomness is drawn from the simulation's seeded RNG, so a run with
+// faults enabled is exactly as deterministic as one without: same seed,
+// same faults, same result.
+//
+// Injectors implement netmodel.FaultyModel. The cluster consults
+// Deliveries, which returns one latency per delivered copy of a message —
+// an empty slice means the message is lost in transit. The plain Delay
+// method reports a single fault-free delivery so an injector stack can
+// stand in anywhere a Model is expected (drops and duplicates then simply
+// do not occur).
+package faults
+
+import (
+	"math/rand"
+
+	"specomp/internal/netmodel"
+)
+
+var (
+	_ netmodel.FaultyModel = Drop{}
+	_ netmodel.FaultyModel = Duplicate{}
+	_ netmodel.FaultyModel = DelaySpikes{}
+	_ netmodel.FaultyModel = Partition{}
+	_ netmodel.FaultyModel = Straggler{}
+)
+
+// Drop loses each message (and each duplicate copy) with probability Prob —
+// the classic lossy-datagram fault. Combine with cluster.Config.Reliable to
+// study retransmission behaviour, or without it to demonstrate how the
+// blocking algorithm deadlocks on a single lost message.
+type Drop struct {
+	Inner netmodel.Model
+	Prob  float64
+}
+
+// Delay implements netmodel.Model (fault-free single delivery).
+func (m Drop) Delay(msg netmodel.Msg, rng *rand.Rand) float64 {
+	return m.Inner.Delay(msg, rng)
+}
+
+// Deliveries implements netmodel.FaultyModel.
+func (m Drop) Deliveries(msg netmodel.Msg, rng *rand.Rand) []float64 {
+	out := netmodel.DeliveriesOf(m.Inner, msg, rng)
+	kept := out[:0]
+	for _, d := range out {
+		if rng.Float64() >= m.Prob {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// Reset forwards to the wrapped model.
+func (m Drop) Reset() { netmodel.ResetModel(m.Inner) }
+
+// Duplicate delivers an extra copy of each message with probability Prob;
+// the copy's latency is drawn independently from the wrapped model, so
+// duplicates typically arrive out of order — exercising the receiver's
+// duplicate suppression.
+type Duplicate struct {
+	Inner netmodel.Model
+	Prob  float64
+}
+
+// Delay implements netmodel.Model.
+func (m Duplicate) Delay(msg netmodel.Msg, rng *rand.Rand) float64 {
+	return m.Inner.Delay(msg, rng)
+}
+
+// Deliveries implements netmodel.FaultyModel.
+func (m Duplicate) Deliveries(msg netmodel.Msg, rng *rand.Rand) []float64 {
+	out := netmodel.DeliveriesOf(m.Inner, msg, rng)
+	n := len(out)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < m.Prob {
+			out = append(out, netmodel.DeliveriesOf(m.Inner, msg, rng)...)
+		}
+	}
+	return out
+}
+
+// Reset forwards to the wrapped model.
+func (m Duplicate) Reset() { netmodel.ResetModel(m.Inner) }
+
+// DelaySpikes adds, with probability Prob per delivered copy, a uniform
+// extra latency in [ExtraMin, ExtraMax]. Unlike netmodel.RandomSpikes it
+// operates at the fault layer, so it also perturbs retransmissions and
+// duplicate copies individually.
+type DelaySpikes struct {
+	Inner    netmodel.Model
+	Prob     float64
+	ExtraMin float64
+	ExtraMax float64
+}
+
+// Delay implements netmodel.Model.
+func (m DelaySpikes) Delay(msg netmodel.Msg, rng *rand.Rand) float64 {
+	return m.spike(m.Inner.Delay(msg, rng), rng)
+}
+
+func (m DelaySpikes) spike(d float64, rng *rand.Rand) float64 {
+	if m.Prob > 0 && rng.Float64() < m.Prob {
+		d += m.ExtraMin + (m.ExtraMax-m.ExtraMin)*rng.Float64()
+	}
+	return d
+}
+
+// Deliveries implements netmodel.FaultyModel.
+func (m DelaySpikes) Deliveries(msg netmodel.Msg, rng *rand.Rand) []float64 {
+	out := netmodel.DeliveriesOf(m.Inner, msg, rng)
+	for i := range out {
+		out[i] = m.spike(out[i], rng)
+	}
+	return out
+}
+
+// Reset forwards to the wrapped model.
+func (m DelaySpikes) Reset() { netmodel.ResetModel(m.Inner) }
+
+// Partition drops every message on the matching link inside the virtual
+// time window [From, Until) — a transient network partition. Src or Dst of
+// -1 matches any processor; compose two Partitions for a symmetric cut.
+type Partition struct {
+	Inner netmodel.Model
+	Src   int
+	Dst   int
+	From  float64
+	Until float64
+}
+
+func (m Partition) cuts(msg netmodel.Msg) bool {
+	return (m.Src == -1 || msg.Src == m.Src) &&
+		(m.Dst == -1 || msg.Dst == m.Dst) &&
+		msg.Now >= m.From && msg.Now < m.Until
+}
+
+// Delay implements netmodel.Model.
+func (m Partition) Delay(msg netmodel.Msg, rng *rand.Rand) float64 {
+	return m.Inner.Delay(msg, rng)
+}
+
+// Deliveries implements netmodel.FaultyModel.
+func (m Partition) Deliveries(msg netmodel.Msg, rng *rand.Rand) []float64 {
+	out := netmodel.DeliveriesOf(m.Inner, msg, rng)
+	if m.cuts(msg) {
+		return out[:0]
+	}
+	return out
+}
+
+// Reset forwards to the wrapped model.
+func (m Partition) Reset() { netmodel.ResetModel(m.Inner) }
+
+// Straggler slows every message sent by processor Proc inside the window
+// [From, Until): each delivery's latency is multiplied by Factor (if > 1)
+// and increased by Extra seconds — a stalled or overloaded sender whose
+// peers see wildly late messages. Proc of -1 matches any sender; Until of 0
+// means the stall never ends.
+type Straggler struct {
+	Inner  netmodel.Model
+	Proc   int
+	From   float64
+	Until  float64
+	Factor float64
+	Extra  float64
+}
+
+func (m Straggler) stalls(msg netmodel.Msg) bool {
+	if m.Proc != -1 && msg.Src != m.Proc {
+		return false
+	}
+	return msg.Now >= m.From && (m.Until <= 0 || msg.Now < m.Until)
+}
+
+func (m Straggler) slow(d float64) float64 {
+	if m.Factor > 1 {
+		d *= m.Factor
+	}
+	return d + m.Extra
+}
+
+// Delay implements netmodel.Model.
+func (m Straggler) Delay(msg netmodel.Msg, rng *rand.Rand) float64 {
+	d := m.Inner.Delay(msg, rng)
+	if m.stalls(msg) {
+		d = m.slow(d)
+	}
+	return d
+}
+
+// Deliveries implements netmodel.FaultyModel.
+func (m Straggler) Deliveries(msg netmodel.Msg, rng *rand.Rand) []float64 {
+	out := netmodel.DeliveriesOf(m.Inner, msg, rng)
+	if m.stalls(msg) {
+		for i := range out {
+			out[i] = m.slow(out[i])
+		}
+	}
+	return out
+}
+
+// Reset forwards to the wrapped model.
+func (m Straggler) Reset() { netmodel.ResetModel(m.Inner) }
+
+// Profile is a convenience constructor for the benchmark fault profile used
+// by `specbench -faults` and the acceptance tests: probabilistic loss plus
+// heavy-tailed delay spikes over an arbitrary base network.
+func Profile(base netmodel.Model, dropProb, spikeProb, spikeMin, spikeMax float64) netmodel.Model {
+	return Drop{
+		Inner: DelaySpikes{
+			Inner:    base,
+			Prob:     spikeProb,
+			ExtraMin: spikeMin,
+			ExtraMax: spikeMax,
+		},
+		Prob: dropProb,
+	}
+}

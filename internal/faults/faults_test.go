@@ -1,0 +1,321 @@
+package faults
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"specomp/internal/cluster"
+	"specomp/internal/core"
+	"specomp/internal/netmodel"
+	"specomp/internal/simtime"
+)
+
+// --- injector unit tests ------------------------------------------------
+
+func msg() netmodel.Msg { return netmodel.Msg{Src: 0, Dst: 1, Bytes: 100, Procs: 4, Now: 1} }
+
+func TestDropLosesExpectedFraction(t *testing.T) {
+	m := Drop{Inner: netmodel.Fixed{D: 1}, Prob: 0.3}
+	rng := rand.New(rand.NewSource(1))
+	kept := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		kept += len(m.Deliveries(msg(), rng))
+	}
+	frac := float64(kept) / n
+	if frac < 0.65 || frac > 0.75 {
+		t.Errorf("kept fraction %.3f, want ~0.7", frac)
+	}
+}
+
+func TestDuplicateAddsCopies(t *testing.T) {
+	m := Duplicate{Inner: netmodel.Fixed{D: 1}, Prob: 1}
+	rng := rand.New(rand.NewSource(1))
+	if got := len(m.Deliveries(msg(), rng)); got != 2 {
+		t.Errorf("deliveries = %d, want 2", got)
+	}
+	none := Duplicate{Inner: netmodel.Fixed{D: 1}, Prob: 0}
+	if got := len(none.Deliveries(msg(), rng)); got != 1 {
+		t.Errorf("deliveries = %d, want 1", got)
+	}
+}
+
+func TestDelaySpikesBounded(t *testing.T) {
+	m := DelaySpikes{Inner: netmodel.Fixed{D: 1}, Prob: 1, ExtraMin: 2, ExtraMax: 3}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		out := m.Deliveries(msg(), rng)
+		if len(out) != 1 || out[0] < 3 || out[0] > 4 {
+			t.Fatalf("delivery %v, want single delay in [3, 4]", out)
+		}
+	}
+}
+
+func TestPartitionWindowCuts(t *testing.T) {
+	m := Partition{Inner: netmodel.Fixed{D: 1}, Src: 0, Dst: 1, From: 0.5, Until: 2}
+	rng := rand.New(rand.NewSource(1))
+	in := msg() // Now = 1, inside the window
+	if got := len(m.Deliveries(in, rng)); got != 0 {
+		t.Errorf("inside window: %d deliveries, want 0", got)
+	}
+	out := in
+	out.Now = 3
+	if got := len(m.Deliveries(out, rng)); got != 1 {
+		t.Errorf("outside window: %d deliveries, want 1", got)
+	}
+	rev := in
+	rev.Src, rev.Dst = 1, 0 // other direction unaffected
+	if got := len(m.Deliveries(rev, rng)); got != 1 {
+		t.Errorf("reverse link: %d deliveries, want 1", got)
+	}
+}
+
+func TestStragglerSlowsSender(t *testing.T) {
+	m := Straggler{Inner: netmodel.Fixed{D: 1}, Proc: 0, From: 0, Factor: 2, Extra: 3}
+	rng := rand.New(rand.NewSource(1))
+	if out := m.Deliveries(msg(), rng); len(out) != 1 || out[0] != 5 {
+		t.Errorf("straggler delivery %v, want [5]", out)
+	}
+	other := msg()
+	other.Src = 2
+	if out := m.Deliveries(other, rng); len(out) != 1 || out[0] != 1 {
+		t.Errorf("non-straggler delivery %v, want [1]", out)
+	}
+}
+
+func TestInjectorsComposeAndResetForwards(t *testing.T) {
+	bus := &netmodel.SharedBus{Overhead: 1}
+	var m netmodel.Model = Drop{Inner: DelaySpikes{Inner: Straggler{Inner: bus, Proc: -1}}, Prob: 0}
+	rng := rand.New(rand.NewSource(1))
+	netmodel.DeliveriesOf(m, msg(), rng) // occupies the bus
+	netmodel.ResetModel(m)
+	got := netmodel.DeliveriesOf(m, msg(), rng)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("after Reset, delivery %v, want [1] (no queueing)", got)
+	}
+}
+
+// --- end-to-end acceptance ----------------------------------------------
+
+// mapApp is a globally coupled logistic map, one variable per processor —
+// smooth enough to speculate on, nonlinear enough that predictions err.
+// r = 3.2 oscillates (hard to predict); r = 2.8 contracts to a fixed point
+// (deep speculation stays accurate — the regime where degradation pays).
+type mapApp struct {
+	id, p     int
+	r         float64
+	threshold float64
+}
+
+func (a *mapApp) f(x float64) float64 { return a.r * x * (1 - x) }
+
+func (a *mapApp) InitLocal() []float64 {
+	return []float64{0.25 + 0.5*float64(a.id)/float64(a.p)}
+}
+
+func (a *mapApp) Compute(view [][]float64, t int) []float64 {
+	sum := 0.0
+	for _, part := range view {
+		sum += a.f(part[0])
+	}
+	mean := sum / float64(len(view))
+	x := view[a.id][0]
+	return []float64{0.7*a.f(x) + 0.3*mean}
+}
+
+func (a *mapApp) ComputeOps() float64 { return 500 }
+
+func (a *mapApp) Check(peer int, pred, act, local []float64, t int) core.CheckResult {
+	return core.RelErrCheck(a.threshold, 1, pred, act)
+}
+
+func (a *mapApp) RepairOps(r core.CheckResult) float64 { return 250 }
+
+const (
+	testProcs     = 4
+	testIters     = 25
+	testThreshold = 0.02
+)
+
+// profile is the acceptance fault profile: 2% loss plus occasional heavy
+// delay spikes on a fixed-latency base network.
+func profile() netmodel.Model {
+	return Profile(netmodel.Fixed{D: 0.1}, 0.02, 0.05, 0.5, 2.0)
+}
+
+func runMap(t *testing.T, r float64, cc cluster.Config, cfg core.Config) ([]core.Result, error) {
+	t.Helper()
+	cfg.MaxIter = testIters
+	return core.RunCluster(cc, cfg, func(p *cluster.Proc) core.App {
+		return &mapApp{id: p.ID(), p: p.P(), r: r, threshold: testThreshold}
+	})
+}
+
+func faultFreeReference(t *testing.T, r float64) []float64 {
+	results, err := runMap(t, r,
+		cluster.Config{Machines: cluster.UniformMachines(testProcs, 1000), Net: netmodel.Fixed{D: 0.1}, Seed: 7},
+		core.Config{FW: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return finals(results)
+}
+
+func finals(results []core.Result) []float64 {
+	out := make([]float64, 0, len(results))
+	for _, r := range results {
+		out = append(out, r.Final...)
+	}
+	return out
+}
+
+// TestReliableSpeculationSurvivesFaults is the tentpole acceptance test:
+// under ≥1% loss plus delay spikes, FW=1 with reliable delivery completes
+// every iteration and lands within the app's check threshold of the
+// fault-free blocking run.
+func TestReliableSpeculationSurvivesFaults(t *testing.T) {
+	want := faultFreeReference(t, 3.2)
+	results, err := runMap(t, 3.2,
+		cluster.Config{
+			Machines:     cluster.UniformMachines(testProcs, 1000),
+			Net:          profile(),
+			Seed:         7,
+			Reliable:     true,
+			RetryTimeout: 0.4,
+		},
+		core.Config{FW: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := finals(results)
+	if err := core.MaxAbsErr(got, want); err > testThreshold {
+		t.Errorf("MaxAbsErr vs fault-free blocking = %g, want < %g", err, testThreshold)
+	}
+	agg := core.Aggregate(results)
+	if agg.SpecsMade == 0 {
+		t.Error("no speculations made")
+	}
+	if agg.Retries == 0 {
+		t.Error("no retransmissions under a 2%% loss profile — faults not exercised")
+	}
+	for _, r := range results {
+		if r.Stats.Iters != testIters {
+			t.Errorf("proc %d completed %d iterations, want %d", r.Proc, r.Stats.Iters, testIters)
+		}
+		if r.Stats.Net.GiveUps != 0 {
+			t.Errorf("proc %d abandoned %d messages", r.Proc, r.Stats.Net.GiveUps)
+		}
+	}
+}
+
+// TestFaultsWithoutRetransmissionStallFW0 shows the same profile kills the
+// classical blocking algorithm when nothing retransmits: the first lost
+// message parks a receiver forever.
+func TestFaultsWithoutRetransmissionStallFW0(t *testing.T) {
+	_, err := runMap(t, 3.2,
+		cluster.Config{
+			Machines: cluster.UniformMachines(testProcs, 1000),
+			Net:      profile(),
+			Seed:     7,
+		},
+		core.Config{FW: 0})
+	if !errors.Is(err, simtime.ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock (blocking run must stall under loss)", err)
+	}
+}
+
+// TestDeterminismUnderFaults: identical seeds and fault profile yield
+// identical final values, stats, and retry counters.
+func TestDeterminismUnderFaults(t *testing.T) {
+	run := func() ([]float64, []core.Stats) {
+		results, err := runMap(t, 3.2,
+			cluster.Config{
+				Machines:     cluster.UniformMachines(testProcs, 1000),
+				Net:          profile(),
+				Seed:         7,
+				Reliable:     true,
+				RetryTimeout: 0.4,
+			},
+			core.Config{FW: 1, Deadline: 0.6, MaxOverrun: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats := make([]core.Stats, len(results))
+		for i, r := range results {
+			stats[i] = r.Stats
+		}
+		return finals(results), stats
+	}
+	v1, s1 := run()
+	v2, s2 := run()
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Errorf("final values differ at %d: %v vs %v", i, v1[i], v2[i])
+		}
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Errorf("proc %d stats differ:\n  %+v\nvs\n  %+v", i, s1[i], s2[i])
+		}
+	}
+}
+
+// TestGracefulDegradationRidesStraggler: a processor stalls for seconds;
+// with a Deadline the engine overruns the forward window on speculation
+// instead of blocking, then reconciles when the straggler's messages land.
+func TestGracefulDegradationRidesStraggler(t *testing.T) {
+	cc := func() cluster.Config {
+		return cluster.Config{
+			Machines: cluster.UniformMachines(testProcs, 1000),
+			// The stall lands mid-run, after the contracting map has nearly
+			// converged, so predictions made while riding it stay accurate.
+			Net: Straggler{
+				Inner: netmodel.Fixed{D: 0.1},
+				Proc:  1, From: 6, Until: 9, Extra: 3,
+			},
+			Seed: 7,
+		}
+	}
+	// r = 2.8: the map contracts toward its fixed point, so iterations
+	// computed past the forward window on linear predictions stay accurate
+	// and reconciliation is cheap — speculation can absorb the stall.
+	degraded, err := runMap(t, 2.8, cc(), core.Config{FW: 1, Deadline: 0.15, MaxOverrun: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := core.Aggregate(degraded)
+	if agg.Overruns == 0 {
+		t.Error("no overruns recorded while riding a 3 s straggler with a 0.3 s deadline")
+	}
+	if agg.Reconciles != agg.Overruns {
+		t.Errorf("Reconciles = %d, want %d (every overrun reconciled by run end)", agg.Reconciles, agg.Overruns)
+	}
+	for _, r := range degraded {
+		if r.Stats.Iters != testIters {
+			t.Errorf("proc %d completed %d iterations, want %d", r.Proc, r.Stats.Iters, testIters)
+		}
+		for _, v := range r.Final {
+			if math.IsNaN(v) || v <= 0 || v >= 1 {
+				t.Errorf("proc %d: value escaped the map's invariant interval: %v", r.Proc, v)
+			}
+		}
+	}
+	// Degradation must actually buy time: the same run without a Deadline
+	// blocks through the whole stall window.
+	blocked, err := runMap(t, 2.8, cc(), core.Config{FW: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if td, tb := core.TotalTime(degraded), core.TotalTime(blocked); td >= tb {
+		t.Errorf("degraded run not faster: deadline %g s vs blocking %g s", td, tb)
+	}
+	// And the result must stay within tolerance of the fault-free reference:
+	// stragglers delay messages but never lose them, so every overrun is
+	// eventually checked and repaired.
+	want := faultFreeReference(t, 2.8)
+	if e := core.MaxAbsErr(finals(degraded), want); e > 0.25 {
+		t.Errorf("degraded run drifted %g from fault-free reference", e)
+	}
+}

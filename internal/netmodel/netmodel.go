@@ -25,6 +25,38 @@ type Model interface {
 	Delay(msg Msg, rng *rand.Rand) float64
 }
 
+// FaultyModel is an optional Model extension for injectors that can lose or
+// duplicate messages (see internal/faults). Deliveries returns one latency
+// per delivered copy; an empty slice means the message is lost. Delay on
+// such models reports the latency of a single fault-free delivery.
+type FaultyModel interface {
+	Model
+	Deliveries(msg Msg, rng *rand.Rand) []float64
+}
+
+// DeliveriesOf returns the delivery latencies of msg under m: Deliveries when
+// m is a FaultyModel, otherwise a single Delay.
+func DeliveriesOf(m Model, msg Msg, rng *rand.Rand) []float64 {
+	if fm, ok := m.(FaultyModel); ok {
+		return fm.Deliveries(msg, rng)
+	}
+	return []float64{m.Delay(msg, rng)}
+}
+
+// Resettable is implemented by stateful models that can return to their
+// initial state, so one model value can be reused across sequential
+// simulations whose virtual clocks each restart at 0. Composable wrappers
+// forward Reset to the model they wrap.
+type Resettable interface{ Reset() }
+
+// ResetModel resets m if it is stateful (directly or through wrappers).
+// cluster.New calls it so a reused model starts every run fresh.
+func ResetModel(m Model) {
+	if r, ok := m.(Resettable); ok {
+		r.Reset()
+	}
+}
+
 // Func adapts a plain function to a Model.
 type Func func(msg Msg, rng *rand.Rand) float64
 
@@ -117,6 +149,9 @@ func (m Jitter) Delay(msg Msg, rng *rand.Rand) float64 {
 	return base * (1 + m.Frac*(2*rng.Float64()-1))
 }
 
+// Reset forwards to the wrapped model.
+func (m Jitter) Reset() { ResetModel(m.Inner) }
+
 // RandomSpikes wraps a model and, with probability Prob per message, adds a
 // uniform extra delay in [ExtraMin, ExtraMax] — the heavy-tailed behaviour
 // of a timeshared workstation network where "messages may occasionally
@@ -136,6 +171,9 @@ func (m RandomSpikes) Delay(msg Msg, rng *rand.Rand) float64 {
 	}
 	return d
 }
+
+// Reset forwards to the wrapped model.
+func (m RandomSpikes) Reset() { ResetModel(m.Inner) }
 
 // TransientSpike wraps a model and adds Extra seconds of latency to messages
 // on a given path within a time window — the "excessive but transient delay
@@ -160,3 +198,6 @@ func (m TransientSpike) Delay(msg Msg, rng *rand.Rand) float64 {
 	}
 	return d
 }
+
+// Reset forwards to the wrapped model.
+func (m TransientSpike) Reset() { ResetModel(m.Inner) }

@@ -16,6 +16,9 @@ func (r *Recorder) Delay(msg Msg, rng *rand.Rand) float64 {
 	return d
 }
 
+// Reset forwards to the wrapped model; the log is kept.
+func (r *Recorder) Reset() { ResetModel(r.Inner) }
+
 // Replay feeds back a recorded delay log in order. Once the log is
 // exhausted it returns Fallback (or panics if Fallback is negative),
 // making unexpected extra traffic loud.

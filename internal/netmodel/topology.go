@@ -12,6 +12,9 @@ type PerPair struct {
 	Extra [][]float64
 }
 
+// Reset forwards to the wrapped model.
+func (m PerPair) Reset() { ResetModel(m.Inner) }
+
 // Delay implements Model.
 func (m PerPair) Delay(msg Msg, rng *rand.Rand) float64 {
 	d := m.Inner.Delay(msg, rng)

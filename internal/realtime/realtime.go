@@ -46,6 +46,9 @@ type Result struct {
 	Proc      int
 	Final     []float64
 	Converged bool
+	// Stats is the engine's full per-processor statistics record —
+	// speculation, check, repair, cascade, and phase-time accounting.
+	Stats     core.Stats
 	SpecsMade int
 	SpecsBad  int
 	Repairs   int
@@ -63,6 +66,10 @@ type transport struct {
 	start   time.Time
 	pending []cluster.Message
 	commSec float64
+	// timers tracks outstanding delayed sends so Run can stop them at
+	// shutdown instead of leaking time.AfterFunc callbacks that fire after
+	// the run has returned.
+	timers []*time.Timer
 }
 
 func (t *transport) ID() int { return t.id }
@@ -84,7 +91,17 @@ func (t *transport) Send(dst, tag, iter int, data []float64) {
 		ch <- m
 		return
 	}
-	time.AfterFunc(t.delay, func() { ch <- m })
+	t.timers = append(t.timers, time.AfterFunc(t.delay, func() { ch <- m }))
+}
+
+// stopTimers cancels outstanding delayed sends. Called after every worker
+// has finished (the WaitGroup gives the happens-before edge to the appends
+// in Send).
+func (t *transport) stopTimers() {
+	for _, tm := range t.timers {
+		tm.Stop()
+	}
+	t.timers = nil
 }
 
 func matches(m cluster.Message, src, tag int) bool {
@@ -135,6 +152,35 @@ func (t *transport) Recv(src, tag int) cluster.Message {
 	}
 }
 
+// RecvDeadline implements core.DeadlineReceiver over a wall-clock timeout,
+// enabling the engine's graceful-degradation mode on the realtime substrate.
+func (t *transport) RecvDeadline(src, tag int, timeout float64) (cluster.Message, bool) {
+	if m, ok := t.takePending(src, tag); ok {
+		return m, true
+	}
+	before := time.Now()
+	defer func() { t.commSec += time.Since(before).Seconds() }()
+	deadline := before.Add(time.Duration(timeout * float64(time.Second)))
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return cluster.Message{}, false
+		}
+		timer := time.NewTimer(remaining)
+		select {
+		case m := <-t.inbox:
+			timer.Stop()
+			m.DeliveredAt = t.Now()
+			if matches(m, src, tag) {
+				return m, true
+			}
+			t.pending = append(t.pending, m)
+		case <-timer.C:
+			return cluster.Message{}, false
+		}
+	}
+}
+
 func (t *transport) PhaseTime(ph cluster.Phase) float64 {
 	if ph == cluster.PhaseComm {
 		return t.commSec
@@ -163,14 +209,16 @@ func Run(cfg Config, factory func(pid, procs int) core.App) ([]Result, error) {
 	}
 	results := make([]Result, p)
 	errs := make([]error, p)
+	transports := make([]*transport, p)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for pid := 0; pid < p; pid++ {
 		pid := pid
 		wg.Add(1)
+		tr := &transport{id: pid, p: p, inbox: inbox[pid], peers: inbox, delay: cfg.Delay, start: start}
+		transports[pid] = tr
 		go func() {
 			defer wg.Done()
-			tr := &transport{id: pid, p: p, inbox: inbox[pid], peers: inbox, delay: cfg.Delay, start: start}
 			res, err := core.Run(tr, factory(pid, p), ecfg)
 			if err != nil {
 				errs[pid] = err
@@ -180,6 +228,7 @@ func Run(cfg Config, factory func(pid, procs int) core.App) ([]Result, error) {
 				Proc:        pid,
 				Final:       res.Final,
 				Converged:   res.Converged,
+				Stats:       res.Stats,
 				SpecsMade:   res.Stats.SpecsMade,
 				SpecsBad:    res.Stats.SpecsBad,
 				Repairs:     res.Stats.Repairs,
@@ -189,6 +238,9 @@ func Run(cfg Config, factory func(pid, procs int) core.App) ([]Result, error) {
 		}()
 	}
 	wg.Wait()
+	for _, tr := range transports {
+		tr.stopTimers()
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("realtime: processor %d: %w", i, err)

@@ -93,6 +93,17 @@ func TestSpeculativeZeroThresholdMatchesSerial(t *testing.T) {
 	if specs == 0 {
 		t.Error("no speculation happened")
 	}
+	// The full engine statistics record must be surfaced, not just the
+	// convenience counters: Stats.SpecsMade mirrors SpecsMade, and the
+	// iteration count proves the engine record is populated.
+	for _, r := range results {
+		if r.Stats.SpecsMade != r.SpecsMade {
+			t.Errorf("proc %d: Stats.SpecsMade=%d, SpecsMade=%d", r.Proc, r.Stats.SpecsMade, r.SpecsMade)
+		}
+		if r.Stats.Iters != iters {
+			t.Errorf("proc %d: Stats.Iters=%d, want %d", r.Proc, r.Stats.Iters, iters)
+		}
+	}
 }
 
 // workMap adds real wall-clock work to each Compute so there is something

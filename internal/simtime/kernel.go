@@ -176,9 +176,14 @@ func (k *Kernel) resume(p *Proc) {
 }
 
 // Run drives the simulation until all processes finish, a deadlock is
-// detected, the horizon is reached, or Fail is called.
+// detected, the horizon is reached, or Fail is called. Events scheduled
+// beyond the last process's completion (e.g. retransmission timers of a
+// reliable transport) are dropped — the simulation is over.
 func (k *Kernel) Run() error {
 	for !k.stopped {
+		if k.live == 0 && len(k.procs) > 0 {
+			return nil
+		}
 		ev := k.queue.pop()
 		if ev == nil {
 			if k.live == 0 {

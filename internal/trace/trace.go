@@ -20,9 +20,21 @@ type Span struct {
 	End   float64
 }
 
-// Recorder collects spans; its Hook method plugs into cluster.Config.OnSpan.
+// Event is a point occurrence on a processor's timeline: a reliable-layer
+// retransmission ("retrans"), a suppressed duplicate ("dup"), an abandoned
+// message ("giveup"), or an engine degradation mark ("overrun",
+// "reconcile").
+type Event struct {
+	Proc int
+	Kind string
+	Time float64
+}
+
+// Recorder collects spans and point events; its Hook and EventHook methods
+// plug into cluster.Config.OnSpan and cluster.Config.OnEvent.
 type Recorder struct {
-	Spans []Span
+	Spans  []Span
+	Events []Event
 }
 
 // Hook returns a function suitable for cluster.Config.OnSpan.
@@ -30,6 +42,24 @@ func (r *Recorder) Hook() func(proc int, ph cluster.Phase, start, end float64) {
 	return func(proc int, ph cluster.Phase, start, end float64) {
 		r.Spans = append(r.Spans, Span{Proc: proc, Phase: ph, Start: start, End: end})
 	}
+}
+
+// EventHook returns a function suitable for cluster.Config.OnEvent.
+func (r *Recorder) EventHook() func(proc int, kind string, t float64) {
+	return func(proc int, kind string, t float64) {
+		r.Events = append(r.Events, Event{Proc: proc, Kind: kind, Time: t})
+	}
+}
+
+// EventCount returns how many recorded events have the given kind.
+func (r *Recorder) EventCount(kind string) int {
+	n := 0
+	for _, e := range r.Events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
 }
 
 // End returns the latest span end time.
@@ -54,8 +84,9 @@ func (r *Recorder) PhaseTotal(proc int, ph cluster.Phase) float64 {
 	return sum
 }
 
-// glyph maps phases to timeline characters:
-// C compute, . waiting on communication, s speculate, k check, R repair.
+// glyph maps phases to timeline characters: C compute, . waiting on
+// communication, s speculate, k check, R repair, o overrun (compute past
+// the forward window in degraded mode).
 func glyph(ph cluster.Phase) byte {
 	switch ph {
 	case cluster.PhaseCompute:
@@ -68,6 +99,8 @@ func glyph(ph cluster.Phase) byte {
 		return 'k'
 	case cluster.PhaseCorrect:
 		return 'R'
+	case cluster.PhaseOverrun:
+		return 'o'
 	default:
 		return ' '
 	}
@@ -111,12 +144,24 @@ func (r *Recorder) Gantt(procs, width int, horizon float64) string {
 			rows[s.Proc][c] = g
 		}
 	}
+	// Point events overlay the phase glyphs so retransmissions and overruns
+	// stand out on the row where they happened.
+	for _, e := range r.Events {
+		if e.Proc < 0 || e.Proc >= procs {
+			continue
+		}
+		c := int(e.Time / horizon * float64(width))
+		if c < 0 || c >= width {
+			continue
+		}
+		rows[e.Proc][c] = '!'
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "time: 0 %s %.3fs\n", strings.Repeat("-", maxInt(0, width-14)), horizon)
 	for i, row := range rows {
 		fmt.Fprintf(&b, "P%-2d |%s|\n", i, row)
 	}
-	b.WriteString("legend: C compute, . wait-comm, s speculate, k check, R repair\n")
+	b.WriteString("legend: C compute, . wait-comm, s speculate, k check, R repair, o overrun, ! fault event\n")
 	return b.String()
 }
 
