@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short bench race results results-ext faults cover fmt vet examples
+.PHONY: all build test test-short bench race results results-ext faults metrics cover fmt vet examples
 
 all: build vet test
 
@@ -35,6 +35,13 @@ results-ext:
 # Fault-injection study: loss, delay spikes, straggler (quick configuration).
 faults:
 	go run ./cmd/specbench -quick -faults
+
+# Fault study with instrumentation: dumps a Prometheus snapshot to
+# metrics.prom. specbench re-parses the written file itself and exits
+# non-zero if the exposition is broken, so this target doubles as a check.
+metrics:
+	go run ./cmd/specbench -quick -faults -chart=false -metrics metrics.prom
+	@echo "wrote metrics.prom"
 
 cover:
 	go test -cover ./...

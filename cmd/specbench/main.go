@@ -7,6 +7,7 @@
 //
 //	specbench [-exp all|fig2|fig4|fig5|fig6|fig8|table2|table3|fig9] [-quick]
 //	          [-n particles] [-iters n] [-procs p] [-theta θ]
+//	          [-csv dir] [-metrics file]
 package main
 
 import (
@@ -16,26 +17,35 @@ import (
 	"strings"
 
 	"specomp/internal/experiments"
+	"specomp/internal/obs"
 )
 
 func main() {
 	var (
 		exp = flag.String("exp", "all",
 			"experiment id: all, ext, or any of fig2, fig4, fig5, fig6, fig8, table2, table3, fig9, ext-fw, ext-bw, ext-async, ext-load, ext-topo, ext-faults")
-		quick  = flag.Bool("quick", false, "use the scaled-down configuration")
-		fault  = flag.Bool("faults", false, "shorthand for -exp ext-faults: run under an unreliable network")
-		n      = flag.Int("n", 0, "override particle count")
-		iters  = flag.Int("iters", 0, "override iteration count")
-		procs  = flag.Int("procs", 0, "override machine-set size")
-		theta  = flag.Float64("theta", 0, "override speculation threshold θ")
-		chart  = flag.Bool("chart", true, "render figure series as ASCII charts")
-		csvDir = flag.String("csv", "", "also write each experiment's series to <dir>/<id>.csv")
+		quick   = flag.Bool("quick", false, "use the scaled-down configuration")
+		fault   = flag.Bool("faults", false, "shorthand for -exp ext-faults: run under an unreliable network")
+		n       = flag.Int("n", 0, "override particle count")
+		iters   = flag.Int("iters", 0, "override iteration count")
+		procs   = flag.Int("procs", 0, "override machine-set size")
+		theta   = flag.Float64("theta", 0, "override speculation threshold θ")
+		chart   = flag.Bool("chart", true, "render figure series as ASCII charts")
+		csvDir  = flag.String("csv", "", "also write each experiment's series to <dir>/<id>.csv")
+		metrics = flag.String("metrics", "", "instrument all runs and write a Prometheus text dump to this file")
 	)
 	flag.Parse()
 
 	cfg := experiments.DefaultNBody()
 	if *quick {
 		cfg = experiments.QuickNBody()
+	}
+	// One registry shared by every requested experiment keeps the dump a
+	// single valid exposition; per-experiment deltas go into each report.
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+		cfg.Obs = reg
 	}
 	if *n > 0 {
 		cfg.N = *n
@@ -61,10 +71,17 @@ func main() {
 		ids = []string{"ext-faults"}
 	}
 	for _, id := range ids {
+		var before map[string]float64
+		if reg != nil {
+			before = reg.Totals()
+		}
 		rep, err := run(strings.TrimSpace(id), cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "specbench: %s: %v\n", id, err)
 			os.Exit(1)
+		}
+		if reg != nil {
+			rep.Metrics = obs.DeltaLines(before, reg.Totals())
 		}
 		fmt.Println(rep.String())
 		if *chart && len(rep.Series) > 0 {
@@ -82,6 +99,42 @@ func main() {
 			}
 		}
 	}
+	if reg != nil {
+		if err := writeMetrics(*metrics, reg); err != nil {
+			fmt.Fprintf(os.Stderr, "specbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeMetrics dumps the registry in Prometheus text exposition format and
+// re-parses the written file as a self-check, so a broken exposition fails
+// the run instead of silently producing an unusable dump.
+func writeMetrics(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteProm(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	rf, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer rf.Close()
+	samples, err := obs.ParseProm(rf)
+	if err != nil {
+		return fmt.Errorf("metrics self-check: %s does not parse: %w", path, err)
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("metrics self-check: %s is empty", path)
+	}
+	return nil
 }
 
 func run(id string, cfg experiments.NBodyConfig) (experiments.Report, error) {

@@ -3,32 +3,40 @@
 // and without speculative computation, and under a transient delay with
 // forward windows 0, 1 and 2.
 //
+// With -trace-out the same runs are also exported as Chrome trace-event
+// JSON, loadable in Perfetto (ui.perfetto.dev) or chrome://tracing, one
+// process track per scenario.
+//
 // Usage:
 //
-//	timeline [-fig 2|4]
+//	timeline [-fig 2|4] [-trace-out file.json]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"specomp/internal/experiments"
+	"specomp/internal/trace"
 )
 
 func main() {
 	fig := flag.Int("fig", 2, "figure to render (2 or 4)")
+	traceOut := flag.String("trace-out", "", "also write the runs as Chrome trace-event JSON to this file")
 	flag.Parse()
 
 	var (
-		rep experiments.Report
-		err error
+		rep  experiments.Report
+		recs []trace.NamedRecorder
+		err  error
 	)
 	switch *fig {
 	case 2:
-		rep, err = experiments.Figure2()
+		rep, recs, err = experiments.Figure2Traced()
 	case 4:
-		rep, err = experiments.Figure4()
+		rep, recs, err = experiments.Figure4Traced()
 	default:
 		log.Fatalf("unknown figure %d (want 2 or 4)", *fig)
 	}
@@ -36,4 +44,19 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println(rep.String())
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.WriteChromeTrace(f, recs...); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote Chrome trace (%d tracks) to %s — open in ui.perfetto.dev\n", len(recs), *traceOut)
+	}
 }

@@ -13,9 +13,22 @@ package cluster
 
 import (
 	"fmt"
+	"strconv"
 
 	"specomp/internal/netmodel"
+	"specomp/internal/obs"
 	"specomp/internal/simtime"
+)
+
+// Transport metric names (Prometheus families; every series carries a proc
+// label — the receiving processor for latency, the acting one otherwise).
+const (
+	MetricMsgsSent    = "specomp_net_msgs_sent_total"
+	MetricBytesSent   = "specomp_net_bytes_sent_total"
+	MetricRetransmits = "specomp_net_retransmits_total"
+	MetricDupsDropped = "specomp_net_dups_dropped_total"
+	MetricGiveUps     = "specomp_net_giveups_total"
+	MetricMsgLatency  = "specomp_net_message_latency_seconds"
 )
 
 // Phase labels where a processor's virtual time is spent.
@@ -109,6 +122,15 @@ type Config struct {
 	// that the message is abandoned and the per-processor give-up counter
 	// increments.
 	MaxRetries int
+
+	// Metrics, when non-nil, receives transport-level counters and the
+	// message-latency histogram (per-processor labels). Nil costs only nil
+	// checks on the delivery path.
+	Metrics *obs.Registry
+	// Journal, when non-nil, receives reliable-layer events (retrans, dup,
+	// giveup) stamped with virtual time, alongside whatever the engine
+	// journals through its own Config.
+	Journal *obs.Journal
 }
 
 // Message is a tagged payload exchanged between processors.
@@ -180,6 +202,16 @@ func (c *Cluster) Start(body func(*Proc)) {
 	}
 	for i, m := range c.cfg.Machines {
 		p := &Proc{c: c, id: i, mach: m}
+		if reg := c.cfg.Metrics; reg != nil {
+			lp := obs.L("proc", strconv.Itoa(i))
+			p.obsMsgsSent = reg.Counter(MetricMsgsSent, "logical messages passed to Send", lp)
+			p.obsBytesSent = reg.Counter(MetricBytesSent, "payload+header bytes of logical sends", lp)
+			p.obsRetrans = reg.Counter(MetricRetransmits, "reliable-layer retransmissions", lp)
+			p.obsDups = reg.Counter(MetricDupsDropped, "duplicate deliveries suppressed at the receiver", lp)
+			p.obsGiveUps = reg.Counter(MetricGiveUps, "messages abandoned after MaxRetries", lp)
+			p.obsLatency = reg.Histogram(MetricMsgLatency, "send-to-delivery latency in virtual seconds",
+				obs.ExpBuckets(0.001, 4, 10), lp)
+		}
 		if c.cfg.Reliable {
 			n := len(c.cfg.Machines)
 			p.nextSeq = make([]uint64, n)
@@ -238,13 +270,22 @@ type Proc struct {
 	maxQueue  int
 
 	// Reliable-delivery state (nil unless Config.Reliable).
-	nextSeq     []uint64                  // per-destination next sequence number
-	unacked     []map[uint64]*pendingMsg  // per-destination outstanding messages
-	seen        []map[uint64]bool         // per-source delivered sequence numbers
+	nextSeq     []uint64                 // per-destination next sequence number
+	unacked     []map[uint64]*pendingMsg // per-destination outstanding messages
+	seen        []map[uint64]bool        // per-source delivered sequence numbers
 	retries     int
 	dupsDropped int
 	giveUps     int
 	acksSent    int
+
+	// Observability handles (nil — and therefore no-ops — unless
+	// Config.Metrics is set).
+	obsMsgsSent  *obs.Counter
+	obsBytesSent *obs.Counter
+	obsRetrans   *obs.Counter
+	obsDups      *obs.Counter
+	obsGiveUps   *obs.Counter
+	obsLatency   *obs.Histogram
 }
 
 // ID returns the processor index (0-based).
@@ -306,6 +347,16 @@ func (c *Cluster) event(proc int, kind string) {
 	}
 }
 
+// journal records a reliable-layer event in the run journal, if any.
+func (c *Cluster) journal(proc int, kind string, iter, peer int) {
+	if c.cfg.Journal == nil {
+		return
+	}
+	c.cfg.Journal.Record(obs.Event{
+		T: c.kernel.Now(), Proc: proc, Kind: kind, Iter: iter, Peer: peer,
+	})
+}
+
 // MaxQueueLen returns the high-water mark of the mailbox length.
 func (p *Proc) MaxQueueLen() int { return p.maxQueue }
 
@@ -365,6 +416,8 @@ func (p *Proc) Send(dst, tag, iter int, data []float64) {
 	}
 	p.msgsSent++
 	p.bytesSent += bytes
+	p.obsMsgsSent.Inc()
+	p.obsBytesSent.Add(float64(bytes))
 	if p.c.cfg.Reliable {
 		seq := p.nextSeq[dst]
 		p.nextSeq[dst]++
@@ -419,12 +472,16 @@ func (p *Proc) retransmit(dst int, pm *pendingMsg) {
 		p.giveUps++
 		delete(p.unacked[dst], pm.seq)
 		p.c.event(p.id, "giveup")
+		p.obsGiveUps.Inc()
+		p.c.journal(p.id, obs.EvGiveup, pm.msg.Iter, dst)
 		return
 	}
 	pm.retries++
 	pm.timeout *= p.c.cfg.RetryBackoff
 	p.retries++
 	p.c.event(p.id, "retrans")
+	p.obsRetrans.Inc()
+	p.c.journal(p.id, obs.EvRetrans, pm.msg.Iter, dst)
 	p.transmit(dst, pm)
 }
 
@@ -436,6 +493,8 @@ func (p *Proc) deliverReliable(m Message, seq uint64) {
 	if p.seen[m.Src][seq] {
 		p.dupsDropped++
 		p.c.event(p.id, "dup")
+		p.obsDups.Inc()
+		p.c.journal(p.id, obs.EvDup, m.Iter, m.Src)
 		return
 	}
 	p.seen[m.Src][seq] = true
@@ -468,6 +527,7 @@ func (p *Proc) ackReceived(from int, seq uint64) {
 
 // deliver runs in kernel context: enqueue and wake a matching waiter.
 func (p *Proc) deliver(m Message) {
+	p.obsLatency.Observe(m.DeliveredAt - m.SentAt)
 	p.mbox = append(p.mbox, m)
 	if len(p.mbox) > p.maxQueue {
 		p.maxQueue = len(p.mbox)

@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 
 	"specomp/internal/netmodel"
+	"specomp/internal/obs"
 	"specomp/internal/simtime"
 )
 
@@ -528,5 +529,71 @@ func TestRecvDeadlineTimesOutAndRecovers(t *testing.T) {
 	}
 	if !gotLate {
 		t.Error("second RecvDeadline missed the late message")
+	}
+}
+
+func TestTransportMetricsAndJournal(t *testing.T) {
+	reg := obs.NewRegistry()
+	jr := obs.NewJournal()
+	c := New(Config{
+		Machines:     []Machine{{Name: "a", Ops: 100}, {Name: "b", Ops: 100}},
+		Net:          &dropFirstN{inner: netmodel.Fixed{D: 0.1}, n: 2},
+		Reliable:     true,
+		RetryTimeout: 0.5,
+		Metrics:      reg,
+		Journal:      jr,
+	})
+	c.Start(func(p *Proc) {
+		if p.ID() == 0 {
+			p.Send(1, 7, 3, []float64{42})
+		} else {
+			p.Recv(0, 7)
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	totals := reg.Totals()
+	if got := int(totals[MetricRetransmits]); got != c.Proc(0).NetStats().Retries {
+		t.Errorf("retransmit counter = %d, want %d", got, c.Proc(0).NetStats().Retries)
+	}
+	if got := int(totals[MetricMsgsSent]); got != 1 {
+		t.Errorf("msgs_sent counter = %d, want 1", got)
+	}
+	// The data message was delivered once (retransmissions that vanished do
+	// not reach deliver); its latency was observed.
+	if got := int(totals[MetricMsgLatency+"_count"]); got != 1 {
+		t.Errorf("latency histogram count = %d, want 1", got)
+	}
+	if got := jr.Count(obs.EvRetrans); got != 2 {
+		t.Errorf("journal retrans events = %d, want 2", got)
+	}
+	for _, e := range jr.Events() {
+		if e.Kind == obs.EvRetrans && (e.Proc != 0 || e.Iter != 3 || e.Peer != 1) {
+			t.Errorf("retrans event mislabeled: %+v", e)
+		}
+	}
+}
+
+func TestNilObsConfigCostsNothing(t *testing.T) {
+	// No registry, no journal: the same run must behave identically (this is
+	// the default path every seed test exercises; here we just pin that the
+	// handles stay nil).
+	c := New(Config{
+		Machines: []Machine{{Name: "a", Ops: 100}, {Name: "b", Ops: 100}},
+		Net:      netmodel.Fixed{D: 0.1},
+	})
+	c.Start(func(p *Proc) {
+		if p.ID() == 0 {
+			p.Send(1, 1, 0, []float64{1})
+		} else {
+			p.Recv(0, 1)
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Proc(0).obsMsgsSent != nil || c.Proc(1).obsLatency != nil {
+		t.Error("obs handles allocated without a registry")
 	}
 }

@@ -27,6 +27,7 @@ import (
 
 	"specomp/internal/cluster"
 	"specomp/internal/history"
+	"specomp/internal/obs"
 	"specomp/internal/predict"
 )
 
@@ -196,6 +197,16 @@ type Config struct {
 	// engine may run on unreconciled speculation before it blocks hard on
 	// the overdue peer. Defaults to 2 when Deadline is set.
 	MaxOverrun int
+	// Metrics, when non-nil, receives the engine's counters, gauges and
+	// histograms (per-processor labels). Nil — the default — keeps the
+	// engine on a nil-check-only fast path.
+	Metrics *obs.Registry
+	// Journal, when non-nil, receives the structured run journal: ordered
+	// events (iteration start/end, speculation made/checked/bad, repair,
+	// cascade, overrun/reconcile, convergence) stamped with the transport's
+	// clock. On the simulated cluster the same seed yields a byte-identical
+	// journal.
+	Journal *obs.Journal
 }
 
 // Stats aggregates one processor's speculation behaviour over a run.
@@ -296,6 +307,10 @@ type engine struct {
 	// frontier is the highest iteration whose Compute has run.
 	frontier int
 
+	// ob is the observability sink; nil when Config.Metrics and
+	// Config.Journal are both unset.
+	ob *engineObs
+
 	stats Stats
 }
 
@@ -363,6 +378,10 @@ func Run(p Transport, app App, cfg Config) (Result, error) {
 	if n, ok := p.(Noter); ok {
 		e.noter = n
 	}
+	e.ob = newEngineObs(cfg.Metrics, cfg.Journal, p.ID())
+	if e.ob != nil {
+		e.ob.p = p
+	}
 	for k := 0; k < p.P(); k++ {
 		if k == p.ID() {
 			continue
@@ -399,6 +418,7 @@ func (e *engine) run() {
 			// Ablation: never send values computed from unvalidated inputs.
 			e.validateThrough(t - 1)
 		}
+		e.ob.iterStart(t)
 		e.broadcast(t)
 		e.drain()
 		view := e.assembleView(t)
@@ -413,6 +433,7 @@ func (e *engine) run() {
 		e.p.Compute(e.app.ComputeOps(), ph)
 		e.own[t+1] = next
 		e.frontier = t
+		e.ob.iterEnd(t)
 		// Keep at most FW iterations resting on unvalidated inputs: after
 		// computing iteration t, everything up to t+1−FW must be validated.
 		// With FW=1 this validates iteration t itself — exactly Figure 3's
@@ -530,6 +551,7 @@ func (e *engine) assembleView(t int) [][]float64 {
 		}
 		preds[k] = pred
 		e.stats.SpecsMade++
+		e.ob.specMade(t, k)
 	}
 	if preds != nil {
 		e.preds[t] = preds
@@ -606,6 +628,7 @@ func (e *engine) tryValidateThrough(t int) bool {
 				e.overrun[s] = true
 				e.stats.Overruns++
 				e.note("overrun")
+				e.ob.overrun(s)
 			}
 			return false
 		}
@@ -622,6 +645,7 @@ func (e *engine) finishIter(s int) {
 		delete(e.overrun, s)
 		e.stats.Reconciles++
 		e.note("reconcile")
+		e.ob.reconciled(s)
 	}
 	e.checkConverged(s)
 	e.retire(s)
@@ -698,6 +722,7 @@ func (e *engine) checkConverged(s int) {
 	if e.stopper.Done(view, s) {
 		e.stopped = true
 		e.stopIter = s
+		e.ob.converged(s)
 	}
 }
 
@@ -724,6 +749,13 @@ func (e *engine) validateIter(t int) {
 		e.stats.SpecsChecked++
 		e.stats.UnitsBad += int64(res.Bad)
 		e.stats.UnitsTotal += int64(res.Total)
+		if e.ob != nil {
+			frac := 0.0
+			if res.Total > 0 {
+				frac = float64(res.Bad) / float64(res.Total)
+			}
+			e.ob.specChecked(t, k, frac, res.Bad > 0)
+		}
 		if res.Bad > 0 {
 			e.stats.SpecsBad++
 			dirty = true
@@ -742,6 +774,7 @@ func (e *engine) validateIter(t int) {
 	// cheaper incremental correction): apply the app's correction function
 	// if it has one, otherwise recompute X_j(t+1) from the corrected view.
 	e.stats.Repairs++
+	e.ob.repaired(t, e.frontier-t)
 	if e.corr != nil {
 		fixed := e.own[t+1]
 		for _, k := range badPeers {
@@ -763,6 +796,7 @@ func (e *engine) validateIter(t int) {
 		e.own[s+1] = e.app.Compute(e.views[s], s)
 		e.p.Compute(e.app.RepairOps(worst), cluster.PhaseCorrect)
 		e.stats.CascadeRedos++
+		e.ob.cascaded(s)
 	}
 }
 

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"strconv"
+
+	"specomp/internal/obs"
+)
+
+// Engine metric names (Prometheus families; every series carries a proc
+// label). Exported so endpoint consumers and tests agree on the schema.
+const (
+	MetricIterations  = "specomp_iterations_total"
+	MetricSpecsMade   = "specomp_specs_made_total"
+	MetricSpecsCheck  = "specomp_specs_checked_total"
+	MetricSpecsBad    = "specomp_specs_bad_total"
+	MetricRepairs     = "specomp_repairs_total"
+	MetricCascades    = "specomp_cascade_redos_total"
+	MetricOverruns    = "specomp_overruns_total"
+	MetricReconciles  = "specomp_reconciles_total"
+	MetricIteration   = "specomp_iteration" // gauge: iteration currently computing
+	MetricPredError   = "specomp_prediction_error"
+	MetricRepairDepth = "specomp_repair_depth"
+)
+
+// engineObs bundles one processor's observability handles. A nil *engineObs
+// means observability is off; every method no-ops, so the engine's hot path
+// pays a single nil check per site.
+type engineObs struct {
+	p       Transport
+	journal *obs.Journal
+
+	iters      *obs.Counter
+	specsMade  *obs.Counter
+	specsCheck *obs.Counter
+	specsBad   *obs.Counter
+	repairs    *obs.Counter
+	cascades   *obs.Counter
+	overruns   *obs.Counter
+	reconciles *obs.Counter
+	iterGauge  *obs.Gauge
+
+	predErr     *obs.Histogram
+	repairDepth *obs.Histogram
+}
+
+// RegisterEngineMetrics pre-registers the engine's counter families for
+// processor proc so a metrics endpoint exposes them (at zero) before the
+// first event. Nil-safe.
+func RegisterEngineMetrics(reg *obs.Registry, proc int) {
+	newEngineObs(reg, nil, proc)
+}
+
+// newEngineObs creates the per-processor handles, or returns nil when both
+// sinks are off.
+func newEngineObs(reg *obs.Registry, journal *obs.Journal, proc int) *engineObs {
+	if reg == nil && journal == nil {
+		return nil
+	}
+	lp := obs.L("proc", strconv.Itoa(proc))
+	return &engineObs{
+		journal:    journal,
+		iters:      reg.Counter(MetricIterations, "iterations computed", lp),
+		specsMade:  reg.Counter(MetricSpecsMade, "peer-iteration predictions performed", lp),
+		specsCheck: reg.Counter(MetricSpecsCheck, "predictions validated against actual messages", lp),
+		specsBad:   reg.Counter(MetricSpecsBad, "validations that exceeded tolerance", lp),
+		repairs:    reg.Counter(MetricRepairs, "iterations repaired after a failed check", lp),
+		cascades:   reg.Counter(MetricCascades, "later iterations recomputed due to an upstream repair", lp),
+		overruns:   reg.Counter(MetricOverruns, "validations deferred past a Deadline expiry", lp),
+		reconciles: reg.Counter(MetricReconciles, "overrun iterations later validated", lp),
+		iterGauge:  reg.Gauge(MetricIteration, "iteration currently being computed", lp),
+		predErr: reg.Histogram(MetricPredError, "unit-bad fraction per validated prediction",
+			[]float64{0, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 1}, lp),
+		repairDepth: reg.Histogram(MetricRepairDepth, "cascade length per repair (iterations recomputed)",
+			[]float64{0, 1, 2, 4, 8, 16}, lp),
+	}
+}
+
+// event journals a record stamped with the transport's current time.
+func (o *engineObs) event(kind string, iter, peer int, v float64) {
+	if o.journal == nil {
+		return
+	}
+	o.journal.Record(obs.Event{
+		T: o.p.Now(), Proc: o.p.ID(), Kind: kind, Iter: iter, Peer: peer, V: v,
+	})
+}
+
+func (o *engineObs) iterStart(t int) {
+	if o == nil {
+		return
+	}
+	o.iterGauge.Set(float64(t))
+	o.event(obs.EvIterStart, t, obs.NoPeer, 0)
+}
+
+func (o *engineObs) iterEnd(t int) {
+	if o == nil {
+		return
+	}
+	o.iters.Inc()
+	o.event(obs.EvIterEnd, t, obs.NoPeer, 0)
+}
+
+func (o *engineObs) specMade(t, peer int) {
+	if o == nil {
+		return
+	}
+	o.specsMade.Inc()
+	o.event(obs.EvSpecMade, t, peer, 0)
+}
+
+// specChecked records a validation outcome; frac is the unit-bad fraction.
+func (o *engineObs) specChecked(t, peer int, frac float64, bad bool) {
+	if o == nil {
+		return
+	}
+	o.specsCheck.Inc()
+	o.predErr.Observe(frac)
+	o.event(obs.EvSpecChecked, t, peer, frac)
+	if bad {
+		o.specsBad.Inc()
+		o.event(obs.EvSpecBad, t, peer, frac)
+	}
+}
+
+// repaired records a repair of iteration t that cascaded through depth
+// further iterations.
+func (o *engineObs) repaired(t, depth int) {
+	if o == nil {
+		return
+	}
+	o.repairs.Inc()
+	o.repairDepth.Observe(float64(depth))
+	o.event(obs.EvRepair, t, obs.NoPeer, float64(depth))
+}
+
+func (o *engineObs) cascaded(s int) {
+	if o == nil {
+		return
+	}
+	o.cascades.Inc()
+	o.event(obs.EvCascade, s, obs.NoPeer, 0)
+}
+
+func (o *engineObs) overrun(s int) {
+	if o == nil {
+		return
+	}
+	o.overruns.Inc()
+	o.event(obs.EvOverrun, s, obs.NoPeer, 0)
+}
+
+func (o *engineObs) reconciled(s int) {
+	if o == nil {
+		return
+	}
+	o.reconciles.Inc()
+	o.event(obs.EvReconcile, s, obs.NoPeer, 0)
+}
+
+func (o *engineObs) converged(s int) {
+	if o == nil {
+		return
+	}
+	o.event(obs.EvConverged, s, obs.NoPeer, 0)
+}

@@ -60,6 +60,7 @@ type AggregateStats struct {
 	Reconciles   int
 	Retries      int // reliable-transport retransmissions
 	DupsDropped  int // duplicate deliveries suppressed
+	GiveUps      int // messages abandoned after MaxRetries
 
 	// Phase times of the processor that finished last (per whole run).
 	MaxCompute float64
@@ -87,6 +88,7 @@ func Aggregate(results []Result) AggregateStats {
 		a.Reconciles += s.Reconciles
 		a.Retries += s.Net.Retries
 		a.DupsDropped += s.Net.DupsDropped
+		a.GiveUps += s.Net.GiveUps
 		if s.TotalTime > a.Total {
 			a.Total = s.TotalTime
 			lastIdx = i

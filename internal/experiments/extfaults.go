@@ -59,8 +59,10 @@ func ExtFaults(cfg NBodyConfig) (Report, error) {
 		// The retry timeout must sit above the bus's queueing delay (tens of
 		// serialized messages per iteration) or every ack that queues behind a
 		// busy medium triggers a spurious retransmission storm.
+		ecfg.Metrics = cfg.Obs
 		results, err := core.RunCluster(
-			cluster.Config{Machines: ms, Net: net(), Seed: cfg.Seed, Reliable: reliable, RetryTimeout: 5},
+			cluster.Config{Machines: ms, Net: net(), Seed: cfg.Seed, Reliable: reliable,
+				RetryTimeout: 5, Metrics: cfg.Obs},
 			ecfg,
 			func(pr *cluster.Proc) core.App {
 				return nbody.NewApp(sim, blocks[pr.ID()], cfg.N, pr.ID(), cfg.Theta, nil)
@@ -102,6 +104,9 @@ func ExtFaults(cfg NBodyConfig) (Report, error) {
 	// speculation then masks the recovery latency that FW=0 eats in full.
 	clean := Series{Name: "fault-free"}
 	faulty := Series{Name: "faulty-reliable"}
+	retrans := Series{Name: "retransmits"}
+	dups := Series{Name: "dups-dropped"}
+	giveups := Series{Name: "giveups"}
 	for _, fw := range []int{0, 1, 2} {
 		oc, err := run(fw, cfg.net, false, core.Config{})
 		if err != nil {
@@ -120,8 +125,14 @@ func ExtFaults(cfg NBodyConfig) (Report, error) {
 		clean.Y = append(clean.Y, oc.time)
 		faulty.X = append(faulty.X, float64(fw))
 		faulty.Y = append(faulty.Y, of.time)
+		retrans.X = append(retrans.X, float64(fw))
+		retrans.Y = append(retrans.Y, float64(agg.Retries))
+		dups.X = append(dups.X, float64(fw))
+		dups.Y = append(dups.Y, float64(agg.DupsDropped))
+		giveups.X = append(giveups.X, float64(fw))
+		giveups.Y = append(giveups.Y, float64(agg.GiveUps))
 	}
-	rep.Series = []Series{clean, faulty}
+	rep.Series = []Series{clean, faulty, retrans, dups, giveups}
 
 	// 3. Graceful degradation: a processor's outgoing messages stall for a
 	// window mid-run. With a receive deadline the engine overruns the forward

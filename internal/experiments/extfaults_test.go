@@ -40,4 +40,17 @@ func TestExtFaultsSpeculationMasksRecoveryLatency(t *testing.T) {
 	if faulty.Y[1] >= faulty.Y[0] {
 		t.Errorf("under faults, FW=1 (%v) does not beat FW=0 (%v)", faulty.Y[1], faulty.Y[0])
 	}
+	// NetStats ride along as series so the CSV export carries them.
+	for _, name := range []string{"retransmits", "dups-dropped", "giveups"} {
+		s := rep.SeriesByName(name)
+		if s == nil || len(s.Y) != 3 {
+			t.Fatalf("missing NetStats series %q: %+v", name, rep.Series)
+		}
+	}
+	if rep.SeriesByName("retransmits").Y[0] == 0 {
+		t.Error("lossy reliable run reported zero retransmissions")
+	}
+	if !strings.Contains(rep.CSV(), "retransmits") {
+		t.Error("CSV export missing the retransmits column")
+	}
 }

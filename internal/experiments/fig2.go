@@ -73,6 +73,13 @@ func timelineRun(net netmodel.Model, cfg core.Config, forceBad bool) (*trace.Rec
 // and (c) with speculation and every value rejected. The reported times
 // satisfy T_spec_good < T_no_spec < T_spec_nogood.
 func Figure2() (Report, error) {
+	rep, _, err := Figure2Traced()
+	return rep, err
+}
+
+// Figure2Traced is Figure2 but also returns the three scenario recorders so
+// callers (timeline -trace-out) can export them as Chrome trace tracks.
+func Figure2Traced() (Report, []trace.NamedRecorder, error) {
 	rep := Report{ID: "fig2", Title: "timelines: blocking vs speculation (good / no good)"}
 	const iters = 5
 	net := func() netmodel.Model { return netmodel.Fixed{D: 2.5} } // latency > 1s compute
@@ -82,19 +89,19 @@ func Figure2() (Report, error) {
 	noSpec.FW = 0
 	recA, tA, err := timelineRun(net(), noSpec, false)
 	if err != nil {
-		return rep, err
+		return rep, nil, err
 	}
 	specGood := base
 	specGood.FW = 1
 	recB, tB, err := timelineRun(net(), specGood, false)
 	if err != nil {
-		return rep, err
+		return rep, nil, err
 	}
 	specBad := base
 	specBad.FW = 1
 	recC, tC, err := timelineRun(net(), specBad, true)
 	if err != nil {
-		return rep, err
+		return rep, nil, err
 	}
 
 	horizon := tC // common scale across the three diagrams
@@ -113,7 +120,12 @@ func Figure2() (Report, error) {
 		X:    []float64{0, 1, 2}, // a, b, c
 		Y:    []float64{tA, tB, tC},
 	}}
-	return rep, nil
+	recs := []trace.NamedRecorder{
+		{Name: "fig2a no-spec", Rec: recA},
+		{Name: "fig2b spec-good", Rec: recB},
+		{Name: "fig2c spec-nogood", Rec: recC},
+	}
+	return rep, recs, nil
 }
 
 func splitLines(s string) []string {

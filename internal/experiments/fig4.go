@@ -6,6 +6,7 @@ import (
 	"specomp/internal/core"
 	"specomp/internal/netmodel"
 	"specomp/internal/predict"
+	"specomp/internal/trace"
 )
 
 // Figure4 reproduces the paper's Figure 4: the effect of the forward window
@@ -13,6 +14,14 @@ import (
 // larger FW lets the processor speculate further ahead and ride through the
 // spike, so T(FW=2) ≤ T(FW=1) ≤ T(FW=0).
 func Figure4() (Report, error) {
+	rep, _, err := Figure4Traced()
+	return rep, err
+}
+
+// Figure4Traced is Figure4 but also returns one recorder per forward-window
+// setting so callers (timeline -trace-out) can export them as Chrome trace
+// tracks.
+func Figure4Traced() (Report, []trace.NamedRecorder, error) {
 	rep := Report{ID: "fig4", Title: "forward windows under a transient delay on one path"}
 	const iters = 8
 	mkNet := func() netmodel.Model {
@@ -27,20 +36,22 @@ func Figure4() (Report, error) {
 		}
 	}
 	totals := Series{Name: "total-time"}
+	var recs []trace.NamedRecorder
 	for _, fw := range []int{0, 1, 2} {
 		cfg := core.Config{FW: fw, MaxIter: iters, Predictor: predict.ZeroOrder{}}
 		rec, total, err := timelineRun(mkNet(), cfg, false)
 		if err != nil {
-			return rep, err
+			return rep, nil, err
 		}
 		totals.X = append(totals.X, float64(fw))
 		totals.Y = append(totals.Y, total)
 		rep.Lines = append(rep.Lines, fmt.Sprintf("FW=%d: total %.2fs", fw, total))
 		rep.Lines = append(rep.Lines, splitLines(rec.Gantt(2, 72, 0))...)
+		recs = append(recs, trace.NamedRecorder{Name: fmt.Sprintf("fig4 FW=%d", fw), Rec: rec})
 	}
 	rep.Series = []Series{totals}
 	if !(totals.Y[2] <= totals.Y[1] && totals.Y[1] <= totals.Y[0]) {
 		rep.Lines = append(rep.Lines, "WARNING: expected T(FW2) <= T(FW1) <= T(FW0)")
 	}
-	return rep, nil
+	return rep, recs, nil
 }

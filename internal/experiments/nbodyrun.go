@@ -7,6 +7,7 @@ import (
 	"specomp/internal/core"
 	"specomp/internal/nbody"
 	"specomp/internal/netmodel"
+	"specomp/internal/obs"
 	"specomp/internal/partition"
 )
 
@@ -46,6 +47,10 @@ type NBodyConfig struct {
 
 	// IC generates the initial particles (defaults to UniformSphere).
 	IC func(n int, seed int64) []nbody.Particle
+
+	// Obs, when non-nil, instruments every run launched through this config
+	// (engine and transport metrics accumulate into the shared registry).
+	Obs *obs.Registry
 }
 
 // DefaultNBody is the full paper-scale configuration.
@@ -147,8 +152,8 @@ func (cfg NBodyConfig) RunWithKernel(p, fw int, theta, mac float64, instr *nbody
 		sim.Dt = cfg.Dt
 	}
 	return core.RunCluster(
-		cluster.Config{Machines: ms, Net: cfg.net(), Seed: cfg.Seed},
-		core.Config{FW: fw, MaxIter: cfg.Iters},
+		cluster.Config{Machines: ms, Net: cfg.net(), Seed: cfg.Seed, Metrics: cfg.Obs},
+		core.Config{FW: fw, MaxIter: cfg.Iters, Metrics: cfg.Obs},
 		func(pr *cluster.Proc) core.App {
 			app := nbody.NewApp(sim, blocks[pr.ID()], cfg.N, pr.ID(), theta, instr)
 			app.MAC = mac

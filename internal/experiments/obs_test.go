@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"specomp/internal/core"
+	"specomp/internal/obs"
+)
+
+// TestNBodyObsWiring checks that a registry hung on the config is populated
+// by runs launched through it, and that DeltaLines produces the snapshot
+// shape specbench -metrics prints.
+func TestNBodyObsWiring(t *testing.T) {
+	cfg := QuickNBody()
+	cfg.N = 40
+	cfg.Iters = 2
+	cfg.Obs = obs.NewRegistry()
+
+	before := cfg.Obs.Totals()
+	results, err := cfg.Run(2, 1, cfg.Theta, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	made := 0
+	for _, r := range results {
+		made += r.Stats.SpecsMade
+	}
+	after := cfg.Obs.Totals()
+	if got := after[core.MetricSpecsMade] - before[core.MetricSpecsMade]; int(got) != made {
+		t.Errorf("registry specs_made delta = %g, engine stats say %d", got, made)
+	}
+	lines := obs.DeltaLines(before, after)
+	if len(lines) == 0 {
+		t.Fatal("no metric deltas from an instrumented run")
+	}
+	found := false
+	for _, l := range lines {
+		if strings.HasPrefix(l, core.MetricIterations+" ") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("delta lines missing %s: %v", core.MetricIterations, lines)
+	}
+
+	rep := Report{ID: "x", Title: "t", Metrics: lines}
+	if !strings.Contains(rep.String(), "metrics:") {
+		t.Error("Report.String does not render the metrics snapshot")
+	}
+}
+
+// TestTracedFiguresExposeRecorders pins the recorder contract timeline
+// -trace-out depends on.
+func TestTracedFiguresExposeRecorders(t *testing.T) {
+	_, recs, err := Figure4Traced()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("Figure4Traced returned %d recorders, want 3 (FW=0,1,2)", len(recs))
+	}
+	for _, nr := range recs {
+		if nr.Rec == nil || len(nr.Rec.Spans) == 0 {
+			t.Errorf("recorder %q is empty", nr.Name)
+		}
+		if !strings.HasPrefix(nr.Name, "fig4 FW=") {
+			t.Errorf("unexpected track name %q", nr.Name)
+		}
+	}
+}

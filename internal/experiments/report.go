@@ -25,6 +25,11 @@ type Report struct {
 	Title  string
 	Lines  []string
 	Series []Series
+
+	// Metrics is the observability snapshot for this report's runs: sorted
+	// "name value" delta lines from an obs.Registry (see specbench -metrics).
+	// Empty unless the run was instrumented.
+	Metrics []string
 }
 
 // String renders the report for terminal output.
@@ -41,6 +46,12 @@ func (r Report) String() string {
 			fmt.Fprintf(&b, " (%g, %.4g)", s.X[i], s.Y[i])
 		}
 		b.WriteByte('\n')
+	}
+	if len(r.Metrics) > 0 {
+		b.WriteString("metrics:\n")
+		for _, m := range r.Metrics {
+			fmt.Fprintf(&b, "  %s\n", m)
+		}
 	}
 	return b.String()
 }

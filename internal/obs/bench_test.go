@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"testing"
+)
+
+// The nil fast path is the price every un-instrumented run pays: it must be
+// a bare nil check, not an allocation or a lock.
+
+func BenchmarkNilCounterAdd(b *testing.B) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkNilHistogramObserve(b *testing.B) {
+	var r *Registry
+	h := r.Histogram("x", "", LinearBuckets(0, 1, 8))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i))
+	}
+}
+
+func BenchmarkNilJournalRecord(b *testing.B) {
+	var j *Journal
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		j.Record(Event{T: float64(i), Kind: EvSpecMade})
+	}
+}
+
+func BenchmarkLiveCounterAdd(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "", L("proc", "0"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkLiveHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("x", "", LinearBuckets(0, 1, 8))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i % 8))
+	}
+}

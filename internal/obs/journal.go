@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Journal event kinds emitted by the engine and the transports. The set is
+// open — consumers should tolerate unknown kinds — but these names are the
+// stable schema the engine and cluster write.
+const (
+	EvIterStart   = "iter_start"   // engine begins iteration Iter
+	EvIterEnd     = "iter_end"     // engine finishes computing iteration Iter
+	EvSpecMade    = "spec_made"    // prediction substituted for peer Peer at Iter
+	EvSpecChecked = "spec_checked" // prediction validated; V = unit-bad fraction
+	EvSpecBad     = "spec_bad"     // validation exceeded tolerance; V = unit-bad fraction
+	EvRepair      = "repair"       // iteration Iter recomputed/corrected
+	EvCascade     = "cascade"      // iteration Iter recomputed due to an upstream repair
+	EvOverrun     = "overrun"      // validation deferred past a Deadline expiry
+	EvReconcile   = "reconcile"    // overrun iteration validated against the real message
+	EvConverged   = "converged"    // Stopper terminated the run at Iter
+	EvRetrans     = "retrans"      // reliable layer retransmitted a message
+	EvDup         = "dup"          // duplicate delivery suppressed
+	EvGiveup      = "giveup"       // message abandoned after MaxRetries
+)
+
+// NoPeer is the Event.Peer value for events not tied to a peer.
+const NoPeer = -1
+
+// Event is one journal record. Field order is the JSONL schema; every field
+// is always present so lines are uniform and byte-stable across runs.
+type Event struct {
+	T    float64 `json:"t"`    // virtual (or wall) time, seconds
+	Proc int     `json:"proc"` // processor the event happened on
+	Kind string  `json:"kind"`
+	Iter int     `json:"iter"` // iteration the event refers to (-1 if none)
+	Peer int     `json:"peer"` // peer processor involved (NoPeer if none)
+	V    float64 `json:"v"`    // kind-specific value (0 if unused)
+}
+
+// Journal is an append-only, concurrency-safe event log. On the simulated
+// cluster the kernel schedules processors deterministically, so the same
+// seed yields a byte-identical WriteJSONL output across runs. A nil *Journal
+// is a valid "journal off" value: Record no-ops.
+type Journal struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewJournal returns an empty journal.
+func NewJournal() *Journal { return &Journal{} }
+
+// Record appends one event. No-op on nil.
+func (j *Journal) Record(e Event) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.events = append(j.events, e)
+	j.mu.Unlock()
+}
+
+// Len returns the number of recorded events (0 on nil).
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.events)
+}
+
+// Events returns a copy of the recorded events in order (nil on nil).
+func (j *Journal) Events() []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Event, len(j.events))
+	copy(out, j.events)
+	return out
+}
+
+// Count returns how many events have the given kind.
+func (j *Journal) Count(kind string) int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := 0
+	for _, e := range j.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteJSONL writes the journal as one JSON object per line, in record
+// order. Nil-safe: a nil journal writes nothing.
+func (j *Journal) WriteJSONL(w io.Writer) error {
+	if j == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, e := range j.events {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL stream produced by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for dec.More() {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PromSample is one parsed exposition sample: a metric name, its raw label
+// block (normalized, possibly empty), and the value.
+type PromSample struct {
+	Name   string
+	Labels string // e.g. `proc="0"` — raw text between the braces
+	Value  float64
+}
+
+// ParseProm parses the Prometheus text exposition format (the subset
+// WriteProm emits: HELP/TYPE comments and `name{labels} value` samples).
+// It returns the samples in order and rejects malformed lines, so tests and
+// cmd/specbench can verify a dump is well-formed.
+func ParseProm(r io.Reader) ([]PromSample, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []PromSample
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		labels := ""
+		rest := ""
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			j := strings.IndexByte(line, '}')
+			if j < i {
+				return out, fmt.Errorf("obs: line %d: unbalanced braces: %q", lineNo, line)
+			}
+			name = line[:i]
+			labels = line[i+1 : j]
+			rest = strings.TrimSpace(line[j+1:])
+		} else {
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				return out, fmt.Errorf("obs: line %d: want `name value`, got %q", lineNo, line)
+			}
+			name, rest = fields[0], fields[1]
+		}
+		if name == "" || !validMetricName(name) {
+			return out, fmt.Errorf("obs: line %d: bad metric name %q", lineNo, name)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			return out, fmt.Errorf("obs: line %d: bad value in %q: %v", lineNo, line, err)
+		}
+		out = append(out, PromSample{Name: name, Labels: labels, Value: v})
+	}
+	if err := sc.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// validMetricName checks the Prometheus metric-name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// SampleNames returns the distinct metric names in samples, preserving first
+// appearance order.
+func SampleNames(samples []PromSample) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range samples {
+		if !seen[s.Name] {
+			seen[s.Name] = true
+			out = append(out, s.Name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package realtime
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"specomp/internal/obs"
+)
+
+// ObsServer is the live-introspection HTTP endpoint for realtime runs. It
+// serves:
+//
+//	/metrics      Prometheus text exposition of the attached registry
+//	/debug/vars   expvar JSON (includes a "specomp" map of registry totals)
+//	/debug/pprof  the standard net/http/pprof handlers
+//
+// Construct with ServeObs; Close releases the listener.
+type ObsServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// expvarReg is the registry the "specomp" expvar reads from. expvar.Publish
+// panics on duplicate names, so the Func is published once and indirects
+// through this mutex-guarded pointer (the most recent ServeObs wins).
+var (
+	expvarMu   sync.Mutex
+	expvarReg  *obs.Registry
+	expvarOnce sync.Once
+)
+
+func publishExpvar(reg *obs.Registry) {
+	expvarMu.Lock()
+	expvarReg = reg
+	expvarMu.Unlock()
+	expvarOnce.Do(func() {
+		expvar.Publish("specomp", expvar.Func(func() any {
+			expvarMu.Lock()
+			defer expvarMu.Unlock()
+			return expvarReg.Totals()
+		}))
+	})
+}
+
+// ServeObs starts the introspection endpoint on addr ("host:port"; use port
+// 0 for an ephemeral port, then read Addr). reg and jr may be nil: /metrics
+// then serves an empty exposition and /journal an empty stream, but pprof
+// and expvar still work.
+func ServeObs(addr string, reg *obs.Registry, jr *obs.Journal) (*ObsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	publishExpvar(reg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WriteProm(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/journal", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = jr.WriteJSONL(w)
+	})
+	s := &ObsServer{
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		ln:  ln,
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *ObsServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *ObsServer) Close() error { return s.srv.Close() }

@@ -19,6 +19,7 @@ import (
 
 	"specomp/internal/cluster"
 	"specomp/internal/core"
+	"specomp/internal/obs"
 	"specomp/internal/predict"
 )
 
@@ -39,6 +40,19 @@ type Config struct {
 	// Delay is an artificial per-message latency injected on delivery,
 	// emulating a slow interconnect. Zero delivers immediately.
 	Delay time.Duration
+	// Metrics, when non-nil, receives the engine's counters and histograms
+	// for every worker (per-processor labels).
+	Metrics *obs.Registry
+	// Journal, when non-nil, receives the structured run journal stamped
+	// with wall-clock seconds since the run started. Unlike the simulated
+	// cluster, ordering across workers is not deterministic.
+	Journal *obs.Journal
+	// HTTPAddr, when non-empty, serves live introspection for the duration
+	// of the run: Prometheus text exposition at /metrics (from Metrics),
+	// expvar at /debug/vars, and net/http/pprof at /debug/pprof/. Use
+	// "127.0.0.1:0" to bind an ephemeral port (the address is logged via
+	// ServeObs for standalone use).
+	HTTPAddr string
 }
 
 // Result is one processor's outcome.
@@ -206,6 +220,27 @@ func Run(cfg Config, factory func(pid, procs int) core.App) ([]Result, error) {
 	ecfg := core.Config{
 		FW: cfg.FW, BW: cfg.BW, MaxIter: cfg.MaxIter,
 		Predictor: cfg.Predictor, HoldSends: cfg.HoldSends,
+		Metrics: cfg.Metrics, Journal: cfg.Journal,
+	}
+	if cfg.Metrics != nil {
+		// Pre-register every worker's engine families plus the transport's
+		// retransmission counter (always 0 on in-process channels), so a
+		// /metrics scrape covers the full schema from the first instant.
+		for pid := 0; pid < p; pid++ {
+			core.RegisterEngineMetrics(cfg.Metrics, pid)
+			cfg.Metrics.Counter(cluster.MetricRetransmits,
+				"reliable-layer retransmissions (always 0 on the in-process channel transport)",
+				obs.L("proc", fmt.Sprint(pid)))
+		}
+	}
+	var srv *ObsServer
+	if cfg.HTTPAddr != "" {
+		var err error
+		srv, err = ServeObs(cfg.HTTPAddr, cfg.Metrics, cfg.Journal)
+		if err != nil {
+			return nil, fmt.Errorf("realtime: obs endpoint: %w", err)
+		}
+		defer srv.Close()
 	}
 	results := make([]Result, p)
 	errs := make([]error, p)

@@ -151,8 +151,13 @@ func (r *Recorder) Gantt(procs, width int, horizon float64) string {
 			continue
 		}
 		c := int(e.Time / horizon * float64(width))
-		if c < 0 || c >= width {
+		if c < 0 || e.Time > horizon {
 			continue
+		}
+		if c >= width {
+			// An event exactly at t == horizon maps to cell `width`; clamp to
+			// the last cell so end-of-run faults stay visible.
+			c = width - 1
 		}
 		rows[e.Proc][c] = '!'
 	}
