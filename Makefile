@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short bench race results results-ext faults metrics cover fmt vet examples
+.PHONY: all build test test-short bench race results results-ext faults chaos metrics cover fmt vet examples
 
 all: build vet test
 
@@ -35,6 +35,11 @@ results-ext:
 # Fault-injection study: loss, delay spikes, straggler (quick configuration).
 faults:
 	go run ./cmd/specbench -quick -faults
+
+# Chaos soak: seeded random processor crashes with checkpoint/rejoin
+# recovery across every application. Exits non-zero on any soak failure.
+chaos:
+	go run ./cmd/specbench -quick -crash -chart=false
 
 # Fault study with instrumentation: dumps a Prometheus snapshot to
 # metrics.prom. specbench re-parses the written file itself and exits

@@ -23,9 +23,10 @@ import (
 func main() {
 	var (
 		exp = flag.String("exp", "all",
-			"experiment id: all, ext, or any of fig2, fig4, fig5, fig6, fig8, table2, table3, fig9, ext-fw, ext-bw, ext-async, ext-load, ext-topo, ext-faults")
+			"experiment id: all, ext, or any of fig2, fig4, fig5, fig6, fig8, table2, table3, fig9, ext-fw, ext-bw, ext-async, ext-load, ext-topo, ext-faults, ext-chaos")
 		quick   = flag.Bool("quick", false, "use the scaled-down configuration")
 		fault   = flag.Bool("faults", false, "shorthand for -exp ext-faults: run under an unreliable network")
+		crash   = flag.Bool("crash", false, "shorthand for -exp ext-chaos: the crash/restart chaos soak")
 		n       = flag.Int("n", 0, "override particle count")
 		iters   = flag.Int("iters", 0, "override iteration count")
 		procs   = flag.Int("procs", 0, "override machine-set size")
@@ -70,6 +71,10 @@ func main() {
 	if *fault {
 		ids = []string{"ext-faults"}
 	}
+	if *crash {
+		ids = []string{"ext-chaos"}
+	}
+	failed := false
 	for _, id := range ids {
 		var before map[string]float64
 		if reg != nil {
@@ -82,6 +87,9 @@ func main() {
 		}
 		if reg != nil {
 			rep.Metrics = obs.DeltaLines(before, reg.Totals())
+		}
+		if len(rep.Failures) > 0 {
+			failed = true
 		}
 		fmt.Println(rep.String())
 		if *chart && len(rep.Series) > 0 {
@@ -104,6 +112,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "specbench: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "specbench: one or more experiments reported failures")
+		os.Exit(1)
 	}
 }
 
@@ -171,6 +183,8 @@ func run(id string, cfg experiments.NBodyConfig) (experiments.Report, error) {
 		return experiments.ExtApps(cfg)
 	case "ext-faults":
 		return experiments.ExtFaults(cfg)
+	case "ext-chaos":
+		return experiments.ExtChaos(cfg)
 	default:
 		return experiments.Report{}, fmt.Errorf("unknown experiment %q", id)
 	}

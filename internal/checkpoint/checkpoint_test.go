@@ -1,0 +1,124 @@
+package checkpoint
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func sample() *Snapshot {
+	return &Snapshot{
+		Proc:      2,
+		Epoch:     1,
+		Validated: 17,
+		Frontier:  19,
+		Own: []Entry{
+			{Iter: 17, Data: []float64{1.5, -2.25}},
+			{Iter: 18, Data: []float64{math.Pi, math.Inf(1)}},
+			{Iter: 19, Data: []float64{}},
+		},
+		Hist: [][]Entry{
+			{{Iter: 15, Data: []float64{0.5}}, {Iter: 16, Data: []float64{0.25}}},
+			nil,
+			{{Iter: 17, Data: []float64{-0}}},
+		},
+		Received: [][]Entry{
+			{{Iter: 18, Data: []float64{9}}},
+			{},
+			nil,
+		},
+		Preds: []PredRow{
+			{Iter: 18, Data: [][]float64{nil, {3.5}, nil}},
+			{Iter: 19, Data: [][]float64{{1}, {2}, nil}},
+		},
+		Overrun: []int{18, 19},
+		SentLog: []Entry{{Iter: 16, Data: []float64{7}}, {Iter: 17, Data: []float64{8}}},
+	}
+}
+
+func TestRoundTripGolden(t *testing.T) {
+	s := sample()
+	blob := Encode(s)
+	// Deterministic: encoding twice yields identical bytes.
+	if !bytes.Equal(blob, Encode(s)) {
+		t.Fatal("two encodings of the same snapshot differ")
+	}
+	got, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Byte-identical round trip: decode → re-encode reproduces the blob.
+	if !bytes.Equal(blob, Encode(got)) {
+		t.Fatal("decode→encode round trip is not byte-identical")
+	}
+	// Nil-ness of float slices survives (nil slot ≠ empty prediction).
+	if got.Preds[0].Data[0] != nil || got.Preds[0].Data[1] == nil {
+		t.Errorf("prediction nil-ness lost: %+v", got.Preds[0])
+	}
+	if got.Own[2].Data == nil {
+		t.Error("empty (non-nil) own data decoded as nil")
+	}
+	if got.Proc != 2 || got.Epoch != 1 || got.Validated != 17 || got.Frontier != 19 {
+		t.Errorf("counters corrupted: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Overrun, s.Overrun) {
+		t.Errorf("overrun set corrupted: %v", got.Overrun)
+	}
+	if len(got.Hist) != 3 || !reflect.DeepEqual(got.Hist[0], s.Hist[0]) {
+		t.Errorf("history corrupted: %+v", got.Hist)
+	}
+}
+
+func TestDecodeRejectsCorruptBlobs(t *testing.T) {
+	blob := Encode(sample())
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     blob[:3],
+		"bad magic": append([]byte("NOPE"), blob[4:]...),
+		"truncated": blob[:len(blob)-5],
+		"trailing":  append(append([]byte{}, blob...), 0, 0, 0, 0, 0, 0, 0, 0),
+	}
+	bad := append([]byte{}, blob...)
+	bad[4] = 99 // version word
+	cases["bad version"] = bad
+	for name, b := range cases {
+		if _, err := Decode(b); err == nil {
+			t.Errorf("%s: Decode accepted a corrupt blob", name)
+		}
+	}
+	// A count word replaced with a huge value must error, not allocate.
+	huge := append([]byte{}, blob...)
+	for i := 4 + 8*5; i < 4+8*6; i++ {
+		huge[i] = 0x7f
+	}
+	if _, err := Decode(huge); err == nil {
+		t.Error("huge count accepted")
+	}
+}
+
+func TestMemStore(t *testing.T) {
+	st := NewMemStore()
+	if _, ok := st.Load(0); ok {
+		t.Fatal("empty store claims a checkpoint")
+	}
+	blob := []byte{1, 2, 3}
+	st.Save(0, blob)
+	blob[0] = 9 // caller mutation must not reach the store
+	got, ok := st.Load(0)
+	if !ok || got[0] != 1 {
+		t.Fatalf("stored blob corrupted by caller mutation: %v", got)
+	}
+	got[1] = 9 // nor must reader mutation
+	again, _ := st.Load(0)
+	if again[1] != 2 {
+		t.Fatal("stored blob corrupted by reader mutation")
+	}
+	st.Save(0, []byte{4})
+	if got, _ := st.Load(0); len(got) != 1 || got[0] != 4 {
+		t.Fatal("Save did not replace the previous checkpoint")
+	}
+	if st.Saves(0) != 2 || st.Saves(1) != 0 {
+		t.Errorf("Saves = %d/%d, want 2/0", st.Saves(0), st.Saves(1))
+	}
+}

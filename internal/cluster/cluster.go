@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"specomp/internal/faults"
 	"specomp/internal/netmodel"
 	"specomp/internal/obs"
 	"specomp/internal/simtime"
@@ -29,6 +30,11 @@ const (
 	MetricDupsDropped = "specomp_net_dups_dropped_total"
 	MetricGiveUps     = "specomp_net_giveups_total"
 	MetricMsgLatency  = "specomp_net_message_latency_seconds"
+	MetricCrashes     = "specomp_proc_crashes_total"
+	MetricDowntime    = "specomp_proc_downtime_seconds_total"
+	MetricDeadDrops   = "specomp_net_dead_drops_total"
+	MetricPeerDead    = "specomp_net_peer_dead_drops_total"
+	MetricStaleDrops  = "specomp_net_stale_epoch_drops_total"
 )
 
 // Phase labels where a processor's virtual time is spent.
@@ -123,6 +129,15 @@ type Config struct {
 	// increments.
 	MaxRetries int
 
+	// Crashes schedules processor crash/restart events (see
+	// faults.CrashEvent): at each event's time the target processor aborts
+	// whatever it is doing, loses its mailbox and reliable-delivery state,
+	// stays dead for the event's downtime (deliveries to it are dropped,
+	// and the reliable layer of its peers stops retransmitting to it), then
+	// restarts its body with a bumped incarnation epoch. Messages stamped
+	// with an older epoch of a peer are discarded on arrival.
+	Crashes faults.CrashSchedule
+
 	// Metrics, when non-nil, receives transport-level counters and the
 	// message-latency histogram (per-processor labels). Nil costs only nil
 	// checks on the delivery path.
@@ -138,6 +153,7 @@ type Message struct {
 	Src, Dst    int
 	Tag         int
 	Iter        int // iteration stamp, used by the synchronous engine
+	Epoch       int // sender's incarnation epoch (bumped on every restart)
 	Data        []float64
 	SentAt      float64
 	DeliveredAt float64
@@ -195,13 +211,18 @@ func (c *Cluster) Proc(i int) *Proc { return c.procs[i] }
 // Now returns the cluster's virtual time.
 func (c *Cluster) Now() float64 { return c.kernel.Now() }
 
-// Start spawns one processor per machine, each running body.
+// Start spawns one processor per machine, each running body. When
+// Config.Crashes schedules crash events, a processor's body may be aborted
+// and re-run from scratch after the downtime — bodies that want to survive
+// a crash with state must checkpoint it somewhere outside the processor
+// (see internal/checkpoint).
 func (c *Cluster) Start(body func(*Proc)) {
 	if c.procs != nil {
 		panic("cluster: Start called twice")
 	}
+	n := len(c.cfg.Machines)
 	for i, m := range c.cfg.Machines {
-		p := &Proc{c: c, id: i, mach: m}
+		p := &Proc{c: c, id: i, mach: m, peerEpoch: make([]int, n)}
 		if reg := c.cfg.Metrics; reg != nil {
 			lp := obs.L("proc", strconv.Itoa(i))
 			p.obsMsgsSent = reg.Counter(MetricMsgsSent, "logical messages passed to Send", lp)
@@ -211,23 +232,120 @@ func (c *Cluster) Start(body func(*Proc)) {
 			p.obsGiveUps = reg.Counter(MetricGiveUps, "messages abandoned after MaxRetries", lp)
 			p.obsLatency = reg.Histogram(MetricMsgLatency, "send-to-delivery latency in virtual seconds",
 				obs.ExpBuckets(0.001, 4, 10), lp)
+			p.obsCrashes = reg.Counter(MetricCrashes, "processor crash events", lp)
+			p.obsDowntime = reg.Counter(MetricDowntime, "virtual seconds spent dead", lp)
+			p.obsDeadDrops = reg.Counter(MetricDeadDrops, "deliveries dropped because the receiver was dead", lp)
+			p.obsPeerDead = reg.Counter(MetricPeerDead, "pending retransmissions dropped because the peer was dead", lp)
+			p.obsStaleDrops = reg.Counter(MetricStaleDrops, "stale-epoch messages discarded on arrival", lp)
 		}
 		if c.cfg.Reliable {
-			n := len(c.cfg.Machines)
-			p.nextSeq = make([]uint64, n)
-			p.unacked = make([]map[uint64]*pendingMsg, n)
-			p.seen = make([]map[uint64]bool, n)
-			for k := 0; k < n; k++ {
-				p.unacked[k] = make(map[uint64]*pendingMsg)
-				p.seen[k] = make(map[uint64]bool)
-			}
+			p.resetReliable()
 		}
 		c.procs = append(c.procs, p)
 	}
 	for _, p := range c.procs {
 		p := p
 		name := fmt.Sprintf("proc%d(%s)", p.id, p.mach.Name)
-		p.sp = c.kernel.Spawn(name, func(*simtime.Proc) { body(p) })
+		p.sp = c.kernel.Spawn(name, func(*simtime.Proc) {
+			for !p.runIncarnation(body) {
+				p.downAndRestart()
+			}
+			p.finished = true
+		})
+	}
+	for _, ev := range c.cfg.Crashes {
+		if ev.Proc < 0 || ev.Proc >= n {
+			panic(fmt.Sprintf("cluster: crash event for invalid processor %d", ev.Proc))
+		}
+		if ev.At < 0 || ev.Downtime < 0 {
+			panic("cluster: negative crash time or downtime")
+		}
+		ev := ev
+		c.kernel.Schedule(ev.At, func() { c.procs[ev.Proc].beginCrash(ev.Downtime) })
+	}
+}
+
+// crashSignal is the panic value used to unwind a crashing processor's body.
+type crashSignal struct{}
+
+// runIncarnation runs one incarnation of the body, reporting whether it ran
+// to completion (false: it was cut short by a crash).
+func (p *Proc) runIncarnation(body func(*Proc)) (completed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(crashSignal); ok {
+				return // completed stays false
+			}
+			panic(r) // a real bug — let the kernel report it
+		}
+	}()
+	body(p)
+	return true
+}
+
+// beginCrash runs in kernel context at a scheduled crash time: it marks the
+// crash pending so the processor's next substrate interaction unwinds, and
+// wakes the processor if it is parked on a receive. Crashes aimed at a
+// finished or already-dead processor are ignored.
+func (p *Proc) beginCrash(downtime float64) {
+	if p.finished || p.dead || p.crashPending {
+		return
+	}
+	p.crashPending = true
+	p.pendingDown = downtime
+	if p.want != nil { // parked on a receive: wake it so the crash lands now
+		p.want = nil
+		p.c.kernel.Unblock(p.sp)
+	}
+}
+
+// maybeCrash, called at every substrate interaction point in the
+// processor's own context, unwinds the body when a crash is pending.
+func (p *Proc) maybeCrash() {
+	if p.crashPending {
+		p.crashPending = false
+		panic(crashSignal{})
+	}
+}
+
+// downAndRestart runs in the processor's context right after a crash
+// unwound the body: it drops the mailbox and reliable-delivery state, stays
+// dead for the scheduled downtime (deliveries are dropped meanwhile), then
+// bumps the incarnation epoch and returns so the body can restart.
+func (p *Proc) downAndRestart() {
+	down := p.pendingDown
+	p.dead = true
+	p.crashes++
+	p.downtimeSec += down
+	p.mbox = nil
+	p.want = nil
+	if p.c.cfg.Reliable {
+		p.resetReliable()
+	}
+	p.obsCrashes.Inc()
+	p.obsDowntime.Add(down)
+	p.c.event(p.id, "crash")
+	p.c.journalV(p.id, obs.EvCrash, -1, obs.NoPeer, down)
+	p.clocks[PhaseOther] += down
+	start := p.Now()
+	p.sp.Sleep(down)
+	p.span(PhaseOther, start)
+	p.epoch++
+	p.dead = false
+	p.c.event(p.id, "restart")
+	p.c.journalV(p.id, obs.EvRestart, p.epoch, obs.NoPeer, 0)
+}
+
+// resetReliable (re)initializes the reliable-delivery maps — on Start and
+// again after a crash, when all in-flight state is lost.
+func (p *Proc) resetReliable() {
+	n := p.c.P()
+	p.nextSeq = make([]uint64, n)
+	p.unacked = make([]map[uint64]*pendingMsg, n)
+	p.seen = make([]map[uint64]bool, n)
+	for k := 0; k < n; k++ {
+		p.unacked[k] = make(map[uint64]*pendingMsg)
+		p.seen[k] = make(map[uint64]bool)
 	}
 }
 
@@ -278,14 +396,32 @@ type Proc struct {
 	giveUps     int
 	acksSent    int
 
+	// Crash/restart lifecycle state.
+	epoch         int   // incarnation epoch, bumped on every restart
+	peerEpoch     []int // newest epoch observed per peer
+	dead          bool  // inside a downtime window: deliveries are dropped
+	finished      bool  // body ran to completion
+	crashPending  bool  // crash requested, lands at the next interaction
+	pendingDown   float64
+	crashes       int
+	downtimeSec   float64
+	deadDrops     int // deliveries dropped while this processor was dead
+	peerDeadDrops int // pending retransmissions dropped: destination dead
+	staleDrops    int // stale-epoch messages discarded on arrival
+
 	// Observability handles (nil — and therefore no-ops — unless
 	// Config.Metrics is set).
-	obsMsgsSent  *obs.Counter
-	obsBytesSent *obs.Counter
-	obsRetrans   *obs.Counter
-	obsDups      *obs.Counter
-	obsGiveUps   *obs.Counter
-	obsLatency   *obs.Histogram
+	obsMsgsSent   *obs.Counter
+	obsBytesSent  *obs.Counter
+	obsRetrans    *obs.Counter
+	obsDups       *obs.Counter
+	obsGiveUps    *obs.Counter
+	obsLatency    *obs.Histogram
+	obsCrashes    *obs.Counter
+	obsDowntime   *obs.Counter
+	obsDeadDrops  *obs.Counter
+	obsPeerDead   *obs.Counter
+	obsStaleDrops *obs.Counter
 }
 
 // ID returns the processor index (0-based).
@@ -312,7 +448,7 @@ func (p *Proc) Stats() (sent, recvd, bytes int) {
 }
 
 // NetStats aggregates a processor's transport-level counters, including the
-// reliable-delivery layer's retry behaviour.
+// reliable-delivery layer's retry behaviour and the crash lifecycle.
 type NetStats struct {
 	MsgsSent    int // logical messages passed to Send
 	MsgsRecvd   int // messages consumed by TryRecv/Recv
@@ -321,6 +457,12 @@ type NetStats struct {
 	DupsDropped int // duplicate deliveries suppressed at the receiver
 	GiveUps     int // messages abandoned after MaxRetries
 	AcksSent    int // acknowledgements transmitted
+
+	Crashes       int     // crash events this processor suffered
+	DowntimeSec   float64 // virtual seconds spent dead
+	DeadDrops     int     // deliveries dropped because this processor was dead
+	PeerDeadDrops int     // pending retransmissions dropped: destination dead
+	StaleDrops    int     // stale-epoch messages discarded on arrival
 }
 
 // NetStats returns the processor's transport-level counters.
@@ -333,8 +475,24 @@ func (p *Proc) NetStats() NetStats {
 		DupsDropped: p.dupsDropped,
 		GiveUps:     p.giveUps,
 		AcksSent:    p.acksSent,
+
+		Crashes:       p.crashes,
+		DowntimeSec:   p.downtimeSec,
+		DeadDrops:     p.deadDrops,
+		PeerDeadDrops: p.peerDeadDrops,
+		StaleDrops:    p.staleDrops,
 	}
 }
+
+// Epoch returns the processor's incarnation epoch: 0 until its first
+// crash, bumped by one at every restart.
+func (p *Proc) Epoch() int { return p.epoch }
+
+// PeerDown reports whether peer k is currently inside a crash downtime
+// window. The simulation has global knowledge, so this is a perfect
+// failure detector — the idealization a real deployment approximates with
+// heartbeats and timeouts.
+func (p *Proc) PeerDown(k int) bool { return p.c.procs[k].dead }
 
 // Note records a point event on the cluster's OnEvent hook at the current
 // virtual time — used by the engine to mark overruns and reconciliations.
@@ -347,13 +505,18 @@ func (c *Cluster) event(proc int, kind string) {
 	}
 }
 
-// journal records a reliable-layer event in the run journal, if any.
+// journal records a transport-layer event in the run journal, if any.
 func (c *Cluster) journal(proc int, kind string, iter, peer int) {
+	c.journalV(proc, kind, iter, peer, 0)
+}
+
+// journalV is journal with a kind-specific value attached.
+func (c *Cluster) journalV(proc int, kind string, iter, peer int, v float64) {
 	if c.cfg.Journal == nil {
 		return
 	}
 	c.cfg.Journal.Record(obs.Event{
-		T: c.kernel.Now(), Proc: proc, Kind: kind, Iter: iter, Peer: peer,
+		T: c.kernel.Now(), Proc: proc, Kind: kind, Iter: iter, Peer: peer, V: v,
 	})
 }
 
@@ -362,6 +525,7 @@ func (p *Proc) MaxQueueLen() int { return p.maxQueue }
 
 // Compute charges ops operations of work to the virtual clock under phase ph.
 func (p *Proc) Compute(ops float64, ph Phase) {
+	p.maybeCrash()
 	if ops < 0 {
 		panic("cluster: negative ops")
 	}
@@ -387,6 +551,7 @@ func (p *Proc) span(ph Phase, start float64) {
 
 // Idle advances the processor's clock by d seconds without attributing work.
 func (p *Proc) Idle(d float64) {
+	p.maybeCrash()
 	p.clocks[PhaseOther] += d
 	start := p.Now()
 	p.sp.Sleep(d)
@@ -397,6 +562,7 @@ func (p *Proc) Idle(d float64) {
 // stamp. The sender is charged Config.SendOps of CPU (attributed to the comm
 // phase); delivery latency comes from the network model.
 func (p *Proc) Send(dst, tag, iter int, data []float64) {
+	p.maybeCrash()
 	if dst < 0 || dst >= p.c.P() {
 		panic(fmt.Sprintf("cluster: Send to invalid processor %d", dst))
 	}
@@ -411,7 +577,7 @@ func (p *Proc) Send(dst, tag, iter int, data []float64) {
 	copy(payload, data)
 	bytes := 8*len(payload) + p.c.cfg.MsgHeaderBytes
 	msg := Message{
-		Src: p.id, Dst: dst, Tag: tag, Iter: iter,
+		Src: p.id, Dst: dst, Tag: tag, Iter: iter, Epoch: p.epoch,
 		Data: payload, SentAt: p.Now(),
 	}
 	p.msgsSent++
@@ -468,6 +634,20 @@ func (p *Proc) retransmit(dst int, pm *pendingMsg) {
 	if pm.acked {
 		return
 	}
+	if pm.msg.Epoch != p.epoch {
+		return // orphaned timer: this sender crashed since the transmission
+	}
+	if p.c.procs[dst].dead {
+		// Destination is inside a crash window: stop retransmitting — the
+		// rejoin protocol, not the retry timer, is responsible for getting
+		// it back in sync after the restart.
+		p.peerDeadDrops++
+		delete(p.unacked[dst], pm.seq)
+		p.c.event(p.id, "peerdead")
+		p.obsPeerDead.Inc()
+		p.c.journal(p.id, obs.EvPeerDead, pm.msg.Iter, dst)
+		return
+	}
 	if pm.retries >= p.c.cfg.MaxRetries {
 		p.giveUps++
 		delete(p.unacked[dst], pm.seq)
@@ -487,9 +667,26 @@ func (p *Proc) retransmit(dst int, pm *pendingMsg) {
 
 // deliverReliable runs in kernel context on the receiving processor: it
 // acknowledges the transmission, suppresses duplicates, and hands first
-// deliveries to the mailbox.
+// deliveries to the mailbox. Dead receivers drop silently (crashed machines
+// do not ack); messages from a peer's older incarnation are discarded, and
+// a newly observed incarnation resets that peer's duplicate-suppression
+// state (its sequence numbers restart at zero).
 func (p *Proc) deliverReliable(m Message, seq uint64) {
-	p.sendAck(m.Src, seq)
+	if p.dead {
+		p.deadDrops++
+		p.obsDeadDrops.Inc()
+		return
+	}
+	if m.Epoch < p.peerEpoch[m.Src] {
+		p.staleDrops++
+		p.obsStaleDrops.Inc()
+		return
+	}
+	if m.Epoch > p.peerEpoch[m.Src] {
+		p.peerEpoch[m.Src] = m.Epoch
+		p.seen[m.Src] = make(map[uint64]bool)
+	}
+	p.sendAck(m.Src, seq, m.Epoch)
 	if p.seen[m.Src][seq] {
 		p.dupsDropped++
 		p.c.event(p.id, "dup")
@@ -502,8 +699,10 @@ func (p *Proc) deliverReliable(m Message, seq uint64) {
 }
 
 // sendAck transmits an acknowledgement back through the network model; like
-// data, acks can be lost or duplicated by a faulty model.
-func (p *Proc) sendAck(src int, seq uint64) {
+// data, acks can be lost or duplicated by a faulty model. The ack echoes
+// the data message's epoch so a restarted sender ignores acks addressed to
+// its previous incarnation.
+func (p *Proc) sendAck(src int, seq uint64, epoch int) {
 	p.acksSent++
 	srcProc := p.c.procs[src]
 	from := p.id
@@ -513,12 +712,15 @@ func (p *Proc) sendAck(src int, seq uint64) {
 		if delay < 0 {
 			panic("cluster: negative network delay")
 		}
-		p.c.kernel.Schedule(delay, func() { srcProc.ackReceived(from, seq) })
+		p.c.kernel.Schedule(delay, func() { srcProc.ackReceived(from, seq, epoch) })
 	}
 }
 
 // ackReceived runs in kernel context on the original sender.
-func (p *Proc) ackReceived(from int, seq uint64) {
+func (p *Proc) ackReceived(from int, seq uint64, epoch int) {
+	if epoch != p.epoch {
+		return // ack for a previous incarnation's transmission
+	}
 	if pm, ok := p.unacked[from][seq]; ok {
 		pm.acked = true
 		delete(p.unacked[from], seq)
@@ -526,7 +728,23 @@ func (p *Proc) ackReceived(from int, seq uint64) {
 }
 
 // deliver runs in kernel context: enqueue and wake a matching waiter.
+// Deliveries to a dead processor are dropped, and messages from a peer's
+// older incarnation are discarded (the unreliable path's epoch filter; the
+// reliable path checks before acknowledging).
 func (p *Proc) deliver(m Message) {
+	if p.dead {
+		p.deadDrops++
+		p.obsDeadDrops.Inc()
+		return
+	}
+	if m.Epoch < p.peerEpoch[m.Src] {
+		p.staleDrops++
+		p.obsStaleDrops.Inc()
+		return
+	}
+	if m.Epoch > p.peerEpoch[m.Src] {
+		p.peerEpoch[m.Src] = m.Epoch
+	}
 	p.obsLatency.Observe(m.DeliveredAt - m.SentAt)
 	p.mbox = append(p.mbox, m)
 	if len(p.mbox) > p.maxQueue {
@@ -541,6 +759,7 @@ func (p *Proc) deliver(m Message) {
 // TryRecv returns a queued message matching (src, tag) without blocking.
 // Use Any for either field to match anything.
 func (p *Proc) TryRecv(src, tag int) (Message, bool) {
+	p.maybeCrash()
 	f := filter{src: src, tag: tag}
 	for i, m := range p.mbox {
 		if f.matches(m) {

@@ -25,14 +25,20 @@ package core
 import (
 	"fmt"
 
+	"specomp/internal/checkpoint"
 	"specomp/internal/cluster"
 	"specomp/internal/history"
 	"specomp/internal/obs"
 	"specomp/internal/predict"
 )
 
-// DataTag is the message tag used for partition exchanges.
-const DataTag = 1
+// Message tags used by the engine. DataTag carries partition exchanges;
+// RejoinTag and RejoinAckTag carry the crash-recovery protocol (recover.go).
+const (
+	DataTag      = 1
+	RejoinTag    = 2 // rejoin/refill request: Iter = highest iteration held
+	RejoinAckTag = 3 // response: Iter = responder frontier, Data[0] = oldest re-sendable iter
+)
 
 // Transport is what the engine needs from an execution substrate. The
 // simulated cluster's *cluster.Proc implements it against virtual time; the
@@ -207,6 +213,37 @@ type Config struct {
 	// clock. On the simulated cluster the same seed yields a byte-identical
 	// journal.
 	Journal *obs.Journal
+
+	// CheckpointEvery, when positive, makes the engine snapshot its state to
+	// CheckpointStore every K loop iterations and enables the crash-recovery
+	// protocol (restore + rejoin + catch-up; see recover.go). Requires a
+	// non-nil CheckpointStore.
+	CheckpointEvery int
+	// CheckpointStore is the stable storage snapshots go to. It must survive
+	// the processor's crashes — in the simulation, any store living outside
+	// the cluster (checkpoint.MemStore) does.
+	CheckpointStore checkpoint.Store
+	// CheckpointOps and CheckpointOpsPerByte set the operation cost charged
+	// to the perf model per snapshot: base plus per-encoded-byte.
+	CheckpointOps        float64
+	CheckpointOpsPerByte float64
+	// RejoinLog is how many recent own broadcasts are retained to serve
+	// peers' rejoin requests. Defaults to 64 when CheckpointEvery > 0. It
+	// must comfortably exceed the deepest frontier gap two processors can
+	// have (≈ FW+MaxOverrun+MaxCrashOverrun), or a rejoiner hits a catch-up
+	// gap and must accept unverifiable speculation for the missing range.
+	RejoinLog int
+	// MaxCrashOverrun extends MaxOverrun while a needed peer is reported
+	// down by the transport's failure detector, letting survivors bridge an
+	// outage by speculating deeper past the forward window. Defaults to 6
+	// when checkpointing and Deadline are both enabled.
+	MaxCrashOverrun int
+	// RejoinRetry is how long a blocked validation waits before (re)sending
+	// a rejoin/refill request for a missing message — the recovery path for
+	// data lost to a crash or abandoned by the reliable layer after
+	// MaxRetries. Defaults to 4×Deadline, or 1 when Deadline is 0. Active
+	// only when CheckpointEvery > 0 on a DeadlineReceiver transport.
+	RejoinRetry float64
 }
 
 // Stats aggregates one processor's speculation behaviour over a run.
@@ -221,6 +258,11 @@ type Stats struct {
 	CascadeRedos int // later iterations recomputed due to an upstream repair
 	Overruns     int // validations deferred past a Deadline expiry
 	Reconciles   int // overrun iterations later validated against the real message
+
+	Checkpoints     int   // state snapshots persisted to stable storage
+	CheckpointBytes int64 // total encoded snapshot bytes written
+	Restores        int   // post-crash state restorations
+	CatchupIters    int   // iterations replayed to re-reach the surviving frontier
 
 	ComputeTime float64
 	CommTime    float64
@@ -307,6 +349,27 @@ type engine struct {
 	// frontier is the highest iteration whose Compute has run.
 	frontier int
 
+	// Crash-recovery state (recover.go); all zero/nil when CheckpointEvery
+	// is unset.
+	store checkpoint.Store
+	fd    FailureDetector // nil unless the transport implements it
+	ep    Epocher         // nil unless the transport implements it
+	// sentLog retains recent own broadcast payloads to serve rejoin/refill
+	// requests from peers that lost them to a crash.
+	sentLog *history.Ring[histEntry]
+	// noActualBefore[k] > 0 marks a catch-up gap: no actual snapshot of
+	// peer k below that iteration will ever arrive, so speculation for the
+	// range is accepted unverified.
+	noActualBefore []int
+	// postCrashLeft[k] counts down how many upcoming validations of peer k
+	// feed the post-crash prediction-error histogram.
+	postCrashLeft []int
+	// restored / restoreFrontier / catchupTarget track catch-up progress
+	// after a restart; catchupTarget is -1 when no catch-up is in flight.
+	restored        bool
+	restoreFrontier int
+	catchupTarget   int
+
 	// ob is the observability sink; nil when Config.Metrics and
 	// Config.Journal are both unset.
 	ob *engineObs
@@ -343,19 +406,39 @@ func Run(p Transport, app App, cfg Config) (Result, error) {
 	if cfg.Deadline == 0 {
 		cfg.MaxOverrun = 0
 	}
+	if cfg.CheckpointEvery > 0 {
+		if cfg.CheckpointStore == nil {
+			return Result{}, fmt.Errorf("core: CheckpointEvery set without a CheckpointStore")
+		}
+		if cfg.RejoinLog <= 0 {
+			cfg.RejoinLog = 64
+		}
+		if cfg.MaxCrashOverrun <= 0 && cfg.Deadline > 0 {
+			cfg.MaxCrashOverrun = 6
+		}
+		if cfg.RejoinRetry <= 0 {
+			cfg.RejoinRetry = 4 * cfg.Deadline
+			if cfg.RejoinRetry == 0 {
+				cfg.RejoinRetry = 1
+			}
+		}
+	} else {
+		cfg.MaxCrashOverrun = 0
+	}
 	e := &engine{
 		p:   p,
 		app: app,
 		cfg: cfg,
 
-		received:  make([]map[int][]float64, p.P()),
-		hist:      make([]*history.Ring[histEntry], p.P()),
-		own:       make(map[int][]float64),
-		views:     make(map[int][][]float64),
-		preds:     make(map[int][][]float64),
-		overrun:   make(map[int]bool),
-		validated: -1,
-		frontier:  -1,
+		received:      make([]map[int][]float64, p.P()),
+		hist:          make([]*history.Ring[histEntry], p.P()),
+		own:           make(map[int][]float64),
+		views:         make(map[int][][]float64),
+		preds:         make(map[int][][]float64),
+		overrun:       make(map[int]bool),
+		validated:     -1,
+		frontier:      -1,
+		catchupTarget: -1,
 	}
 	if s, ok := app.(Speculator); ok {
 		e.spec = s
@@ -387,7 +470,24 @@ func Run(p Transport, app App, cfg Config) (Result, error) {
 			continue
 		}
 		e.received[k] = make(map[int][]float64)
-		e.hist[k] = history.NewRing[histEntry](cfg.BW)
+		// Defensive copies: a pushed snapshot must survive the producer
+		// mutating its buffer afterwards (e.g. a Corrector patching in place).
+		e.hist[k] = history.NewRingCopy(cfg.BW, cloneHistEntry)
+	}
+	if cfg.CheckpointEvery > 0 {
+		e.store = cfg.CheckpointStore
+		e.sentLog = history.NewRingCopy(cfg.RejoinLog, cloneHistEntry)
+		e.noActualBefore = make([]int, p.P())
+		e.postCrashLeft = make([]int, p.P())
+		if fd, ok := p.(FailureDetector); ok {
+			e.fd = fd
+		}
+		if ep, ok := p.(Epocher); ok {
+			e.ep = ep
+		}
+		if err := e.maybeRestore(); err != nil {
+			return Result{}, err
+		}
 	}
 	e.run()
 	e.stats.Iters = cfg.MaxIter
@@ -412,8 +512,15 @@ func Run(p Transport, app App, cfg Config) (Result, error) {
 }
 
 func (e *engine) run() {
-	e.own[0] = e.app.InitLocal()
-	for t := 0; t < e.cfg.MaxIter && !e.stopped; t++ {
+	t0 := 0
+	if e.restored {
+		// Resume where the snapshot left off; afterRestore has already asked
+		// the peers to refill anything lost in the crash.
+		t0 = e.frontier + 1
+	} else {
+		e.own[0] = e.app.InitLocal()
+	}
+	for t := t0; t < e.cfg.MaxIter && !e.stopped; t++ {
 		if e.cfg.HoldSends && t > 0 {
 			// Ablation: never send values computed from unvalidated inputs.
 			e.validateThrough(t - 1)
@@ -434,6 +541,7 @@ func (e *engine) run() {
 		e.own[t+1] = next
 		e.frontier = t
 		e.ob.iterEnd(t)
+		e.noteCatchup()
 		// Keep at most FW iterations resting on unvalidated inputs: after
 		// computing iteration t, everything up to t+1−FW must be validated.
 		// With FW=1 this validates iteration t itself — exactly Figure 3's
@@ -442,24 +550,45 @@ func (e *engine) run() {
 		if lag > t {
 			lag = t // FW=0: iteration t's inputs were already actual
 		}
-		if lag < 0 {
-			continue
+		if lag >= 0 {
+			if !e.degrading() {
+				e.validateThrough(lag)
+			} else {
+				// Graceful degradation: wait at most Deadline per overdue
+				// peer, then let speculation overrun the forward window — but
+				// never past the overrun budget, beyond which we block hard.
+				// While a needed peer is down the budget stretches by
+				// MaxCrashOverrun, bridging the outage on speculation.
+				if floor := lag - e.overrunBudget(); floor >= 0 {
+					e.validateThrough(floor)
+				}
+				e.tryValidateThrough(lag)
+			}
 		}
-		if !e.degrading() {
-			e.validateThrough(lag)
-			continue
+		if e.cfg.CheckpointEvery > 0 && (t+1)%e.cfg.CheckpointEvery == 0 {
+			e.takeCheckpoint()
 		}
-		// Graceful degradation: wait at most Deadline per overdue peer, then
-		// let speculation overrun the forward window — but never by more
-		// than MaxOverrun iterations, beyond which we block hard.
-		if floor := lag - e.cfg.MaxOverrun; floor >= 0 {
-			e.validateThrough(floor)
-		}
-		e.tryValidateThrough(lag)
 	}
 	if !e.stopped {
 		e.validateThrough(e.cfg.MaxIter - 1)
+		e.noteCatchup()
 	}
+}
+
+// overrunBudget is how far validation may lag past the forward window
+// before the engine blocks hard on the overdue peer.
+func (e *engine) overrunBudget() int {
+	b := e.cfg.MaxOverrun
+	if e.fd != nil && e.cfg.MaxCrashOverrun > 0 && e.anyNeededPeerDown() {
+		b += e.cfg.MaxCrashOverrun
+	}
+	return b
+}
+
+// lookback bounds how far back stashed actuals stay useful: the speculation
+// base plus the deepest validation lag the engine can accumulate.
+func (e *engine) lookback() int {
+	return e.cfg.BW + e.cfg.FW + e.cfg.MaxOverrun + e.cfg.MaxCrashOverrun
 }
 
 // degrading reports whether deadline-based graceful degradation is active.
@@ -470,11 +599,15 @@ func (e *engine) degrading() bool {
 }
 
 // broadcast sends the local partition (or its published projection) for
-// iteration t to every peer.
+// iteration t to every peer, and logs the payload so a crashed peer can ask
+// for it again on rejoin.
 func (e *engine) broadcast(t int) {
 	payload := e.own[t]
 	if e.pub != nil {
 		payload = e.pub.Publish(payload)
+	}
+	if e.sentLog != nil {
+		e.sentLog.Push(histEntry{iter: t, data: payload})
 	}
 	for k := 0; k < e.p.P(); k++ {
 		if k == e.p.ID() || !e.neededBy(k) {
@@ -494,29 +627,52 @@ func (e *engine) neededBy(k int) bool {
 	return e.nbrs == nil || e.nbrs.NeededBy(k)
 }
 
-// drain moves every delivered message into the received stash.
+// drain moves every delivered message into the received stash, dispatching
+// any recovery-protocol traffic along the way.
 func (e *engine) drain() {
 	for {
-		m, ok := e.p.TryRecv(cluster.Any, DataTag)
+		m, ok := e.p.TryRecv(cluster.Any, cluster.Any)
 		if !ok {
 			return
 		}
-		e.stash(m)
+		e.intake(m)
 	}
 }
 
+// stash records an actual snapshot, first-wins: a rejoin re-send must never
+// overwrite the copy peers already computed against.
 func (e *engine) stash(m cluster.Message) {
-	e.received[m.Src][m.Iter] = m.Data
+	if _, ok := e.received[m.Src][m.Iter]; !ok {
+		e.received[m.Src][m.Iter] = m.Data
+	}
 }
 
 // actual blocks until the real snapshot of peer k at iteration t is
-// available, stashing any other traffic that arrives meanwhile.
+// available, dispatching any other traffic that arrives meanwhile. It
+// returns nil when the snapshot can never arrive (a catch-up gap) — callers
+// must then accept the speculation unverified. With crash recovery enabled
+// the wait is chunked into RejoinRetry slices: each expiry re-requests the
+// missing range from k, healing messages lost to a crash window or
+// abandoned by the reliable layer.
 func (e *engine) actual(k, t int) []float64 {
 	for {
 		if v, ok := e.received[k][t]; ok {
 			return v
 		}
-		e.stash(e.p.Recv(cluster.Any, DataTag))
+		if e.noActualBefore != nil && t < e.noActualBefore[k] {
+			return nil
+		}
+		if e.cfg.CheckpointEvery > 0 && e.dr != nil {
+			if m, ok := e.dr.RecvDeadline(cluster.Any, cluster.Any, e.cfg.RejoinRetry); ok {
+				e.intake(m)
+			} else if e.fd == nil || !e.fd.PeerDown(k) {
+				// Patience expired with the peer alive: the message is
+				// presumed lost, not late. Ask for a refill.
+				e.sendRejoin(k, t-1)
+			}
+			continue
+		}
+		e.intake(e.p.Recv(cluster.Any, cluster.Any))
 	}
 }
 
@@ -566,7 +722,7 @@ func (e *engine) speculate(k, t int) []float64 {
 	// newest-first history from it.
 	var hist [][]float64
 	base := -1
-	for s := t - 1; s >= 0 && s >= t-e.cfg.BW-e.cfg.FW-e.cfg.MaxOverrun; s-- {
+	for s := t - 1; s >= 0 && s >= t-e.lookback(); s-- {
 		if v, ok := e.received[k][s]; ok {
 			base = s
 			hist = append(hist, v)
@@ -653,11 +809,22 @@ func (e *engine) finishIter(s int) {
 
 // collectActuals waits, up to Deadline per overdue peer, until every needed
 // peer's iteration-s snapshot is stashed. Returns false on a deadline
-// expiry. On success the subsequent validateIter will not block.
+// expiry. A peer the failure detector reports down gets no wait at all —
+// the crash is bridged on speculation immediately. On success the
+// subsequent validateIter will not block.
 func (e *engine) collectActuals(s int) bool {
 	for k := 0; k < e.p.P(); k++ {
 		if k == e.p.ID() || !e.needs(k) {
 			continue
+		}
+		if _, ok := e.received[k][s]; ok {
+			continue
+		}
+		if e.noActualBefore != nil && s < e.noActualBefore[k] {
+			continue // catch-up gap: nothing will ever arrive
+		}
+		if e.fd != nil && e.fd.PeerDown(k) {
+			return false // dead peer: overrun without burning the deadline
 		}
 		if !e.waitActual(k, s, e.cfg.Deadline) {
 			return false
@@ -667,7 +834,7 @@ func (e *engine) collectActuals(s int) bool {
 }
 
 // waitActual blocks until peer k's iteration-t snapshot is stashed or
-// timeout elapses, stashing any other traffic that arrives meanwhile.
+// timeout elapses, dispatching any other traffic that arrives meanwhile.
 func (e *engine) waitActual(k, t int, timeout float64) bool {
 	deadline := e.p.Now() + timeout
 	for {
@@ -678,12 +845,12 @@ func (e *engine) waitActual(k, t int, timeout float64) bool {
 		if remaining <= 0 {
 			return false
 		}
-		m, ok := e.dr.RecvDeadline(cluster.Any, DataTag, remaining)
+		m, ok := e.dr.RecvDeadline(cluster.Any, cluster.Any, remaining)
 		if !ok {
 			_, have := e.received[k][t]
 			return have
 		}
-		e.stash(m)
+		e.intake(m)
 	}
 }
 
@@ -715,6 +882,12 @@ func (e *engine) checkConverged(s int) {
 			continue // no messages from unneeded peers
 		}
 		view[k] = e.actual(k, s)
+		if view[k] == nil {
+			// Catch-up gap: this processor cannot evaluate Done(s) on the
+			// same data its peers did, so it skips the evaluation. See the
+			// DESIGN.md caveat on Stopper + crash recovery.
+			return
+		}
 	}
 	if ops := e.stopper.DoneOps(); ops > 0 {
 		e.p.Compute(ops, cluster.PhaseOther)
@@ -742,6 +915,11 @@ func (e *engine) validateIter(t int) {
 			continue
 		}
 		act := e.actual(k, t)
+		if act == nil {
+			// Catch-up gap: the actual can never arrive, so the speculation
+			// is accepted unverified and contributes no history entry.
+			continue
+		}
 		res := e.app.Check(k, preds[k], act, e.own[t], t)
 		if res.Ops > 0 {
 			e.p.Compute(res.Ops, cluster.PhaseCheck)
@@ -755,6 +933,10 @@ func (e *engine) validateIter(t int) {
 				frac = float64(res.Bad) / float64(res.Total)
 			}
 			e.ob.specChecked(t, k, frac, res.Bad > 0)
+			if e.postCrashLeft != nil && e.postCrashLeft[k] > 0 {
+				e.postCrashLeft[k]--
+				e.ob.postCrashErr(frac)
+			}
 		}
 		if res.Bad > 0 {
 			e.stats.SpecsBad++
@@ -802,11 +984,15 @@ func (e *engine) validateIter(t int) {
 
 // actualIntoHistory pushes peer k's iteration-t actual snapshot into the
 // backward-window ring (validation proceeds in iteration order, so pushes
-// are ordered too) and prunes stale stash entries.
+// are ordered too) and prunes stale stash entries. A catch-up gap (nil
+// actual) contributes nothing.
 func (e *engine) actualIntoHistory(k, t int) {
 	v := e.actual(k, t)
+	if v == nil {
+		return
+	}
 	e.hist[k].Push(histEntry{iter: t, data: v})
-	delete(e.received[k], t-e.cfg.BW-e.cfg.FW-e.cfg.MaxOverrun-1)
+	delete(e.received[k], t-e.lookback()-1)
 }
 
 // retire drops per-iteration bookkeeping no longer needed after validation.

@@ -20,6 +20,12 @@ const (
 	MetricIteration   = "specomp_iteration" // gauge: iteration currently computing
 	MetricPredError   = "specomp_prediction_error"
 	MetricRepairDepth = "specomp_repair_depth"
+
+	MetricCheckpoints     = "specomp_checkpoints_total"
+	MetricCheckpointBytes = "specomp_checkpoint_bytes_total"
+	MetricRestores        = "specomp_restores_total"
+	MetricCatchupIters    = "specomp_catchup_iters_total"
+	MetricPostCrashErr    = "specomp_post_crash_prediction_error"
 )
 
 // engineObs bundles one processor's observability handles. A nil *engineObs
@@ -39,8 +45,14 @@ type engineObs struct {
 	reconciles *obs.Counter
 	iterGauge  *obs.Gauge
 
+	checkpoints  *obs.Counter
+	ckptBytes    *obs.Counter
+	restores     *obs.Counter
+	catchupIters *obs.Counter
+
 	predErr     *obs.Histogram
 	repairDepth *obs.Histogram
+	postCrash   *obs.Histogram
 }
 
 // RegisterEngineMetrics pre-registers the engine's counter families for
@@ -72,6 +84,12 @@ func newEngineObs(reg *obs.Registry, journal *obs.Journal, proc int) *engineObs 
 			[]float64{0, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 1}, lp),
 		repairDepth: reg.Histogram(MetricRepairDepth, "cascade length per repair (iterations recomputed)",
 			[]float64{0, 1, 2, 4, 8, 16}, lp),
+		checkpoints:  reg.Counter(MetricCheckpoints, "engine state snapshots persisted", lp),
+		ckptBytes:    reg.Counter(MetricCheckpointBytes, "encoded snapshot bytes written", lp),
+		restores:     reg.Counter(MetricRestores, "post-crash state restorations", lp),
+		catchupIters: reg.Counter(MetricCatchupIters, "iterations replayed to re-reach the surviving frontier", lp),
+		postCrash: reg.Histogram(MetricPostCrashErr, "unit-bad fraction of validations shortly after a peer rejoins",
+			[]float64{0, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 1}, lp),
 	}
 }
 
@@ -163,4 +181,58 @@ func (o *engineObs) converged(s int) {
 		return
 	}
 	o.event(obs.EvConverged, s, obs.NoPeer, 0)
+}
+
+// checkpointed records one persisted snapshot of `bytes` encoded bytes,
+// taken with `validated` as the highest fully validated iteration.
+func (o *engineObs) checkpointed(validated, bytes int) {
+	if o == nil {
+		return
+	}
+	o.checkpoints.Inc()
+	o.ckptBytes.Add(float64(bytes))
+	o.event(obs.EvCheckpoint, validated, obs.NoPeer, float64(bytes))
+}
+
+func (o *engineObs) restored(validated int) {
+	if o == nil {
+		return
+	}
+	o.restores.Inc()
+	o.event(obs.EvRestore, validated, obs.NoPeer, 0)
+}
+
+// rejoinServed records that this processor answered peer's rejoin/refill
+// request covering iterations above have.
+func (o *engineObs) rejoinServed(peer, have int) {
+	if o == nil {
+		return
+	}
+	o.event(obs.EvRejoin, have, peer, 0)
+}
+
+// catchup records that the post-restore replay re-reached the surviving
+// frontier at iteration t after replaying n iterations.
+func (o *engineObs) catchup(t, n int) {
+	if o == nil {
+		return
+	}
+	o.catchupIters.Add(float64(n))
+	o.event(obs.EvCatchup, t, obs.NoPeer, float64(n))
+}
+
+// catchupGap records that peer's re-send log could not cover the outage;
+// oldest is the first iteration it can still supply.
+func (o *engineObs) catchupGap(peer, oldest int) {
+	if o == nil {
+		return
+	}
+	o.event(obs.EvCatchupGap, obs.NoPeer, peer, float64(oldest))
+}
+
+func (o *engineObs) postCrashErr(frac float64) {
+	if o == nil {
+		return
+	}
+	o.postCrash.Observe(frac)
 }

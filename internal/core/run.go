@@ -62,6 +62,12 @@ type AggregateStats struct {
 	DupsDropped  int // duplicate deliveries suppressed
 	GiveUps      int // messages abandoned after MaxRetries
 
+	Checkpoints  int     // engine snapshots persisted
+	Restores     int     // post-crash state restorations
+	CatchupIters int     // iterations replayed to re-reach the frontier
+	Crashes      int     // processor crash events
+	DowntimeSec  float64 // total virtual seconds processors spent dead
+
 	// Phase times of the processor that finished last (per whole run).
 	MaxCompute float64
 	MaxComm    float64
@@ -89,6 +95,11 @@ func Aggregate(results []Result) AggregateStats {
 		a.Retries += s.Net.Retries
 		a.DupsDropped += s.Net.DupsDropped
 		a.GiveUps += s.Net.GiveUps
+		a.Checkpoints += s.Checkpoints
+		a.Restores += s.Restores
+		a.CatchupIters += s.CatchupIters
+		a.Crashes += s.Net.Crashes
+		a.DowntimeSec += s.Net.DowntimeSec
 		if s.TotalTime > a.Total {
 			a.Total = s.TotalTime
 			lastIdx = i

@@ -30,6 +30,11 @@ type Report struct {
 	// "name value" delta lines from an obs.Registry (see specbench -metrics).
 	// Empty unless the run was instrumented.
 	Metrics []string
+
+	// Failures lists acceptance assertions this run violated (e.g. a chaos
+	// soak target that did not recover within tolerance). A non-empty list
+	// makes specbench exit non-zero.
+	Failures []string
 }
 
 // String renders the report for terminal output.
@@ -52,6 +57,9 @@ func (r Report) String() string {
 		for _, m := range r.Metrics {
 			fmt.Fprintf(&b, "  %s\n", m)
 		}
+	}
+	for _, f := range r.Failures {
+		fmt.Fprintf(&b, "FAIL: %s\n", f)
 	}
 	return b.String()
 }

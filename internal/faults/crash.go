@@ -1,0 +1,80 @@
+package faults
+
+import "math/rand"
+
+// CrashEvent schedules one processor crash: at virtual time At the
+// processor loses its mailbox, in-flight reliable-delivery state and all
+// engine state, stays dead for Downtime seconds (messages addressed to it
+// are dropped on the floor), then restarts with a bumped incarnation epoch.
+//
+// The crash takes effect at the processor's next interaction with the
+// substrate (Compute/Send/Recv) after At — a processor mid-computation
+// finishes charging the current slice first, exactly like a machine check
+// that fires between instructions of a simulator's basic block.
+type CrashEvent struct {
+	Proc     int
+	At       float64 // virtual time the crash is requested
+	Downtime float64 // seconds the processor stays dead before restarting
+}
+
+// CrashSchedule is a set of crash/restart events consumed by
+// cluster.Config.Crashes. It is plain data — stateless and reusable across
+// runs — so cluster reuse never inherits dead-peer state.
+type CrashSchedule []CrashEvent
+
+// Crashes counts the events targeting proc (-1 counts all).
+func (s CrashSchedule) Crashes(proc int) int {
+	n := 0
+	for _, ev := range s {
+		if proc == -1 || ev.Proc == proc {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalDowntime sums the scheduled downtime of every event targeting proc
+// (-1 sums all).
+func (s CrashSchedule) TotalDowntime(proc int) float64 {
+	d := 0.0
+	for _, ev := range s {
+		if proc == -1 || ev.Proc == proc {
+			d += ev.Downtime
+		}
+	}
+	return d
+}
+
+// Chaos generates a seeded random crash schedule: n crash events spread
+// over the virtual-time window [from, until), each hitting a uniformly
+// chosen processor in [0, procs) and staying down for a uniform downtime in
+// [minDown, maxDown]. Events for the same processor are spaced so a new
+// crash never lands while the previous one's downtime is still running
+// (the cluster would ignore it anyway). The schedule is deterministic for
+// a given seed, so a chaos soak run is exactly as reproducible as a
+// fault-free one.
+func Chaos(seed int64, procs, n int, from, until, minDown, maxDown float64) CrashSchedule {
+	if procs < 1 || n < 1 || until <= from {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// busyUntil[p] is the time processor p's previous crash finishes.
+	busyUntil := make([]float64, procs)
+	var out CrashSchedule
+	span := until - from
+	for i := 0; i < n; i++ {
+		// Stratify the window so events spread over the run instead of
+		// clumping at one end.
+		lo := from + span*float64(i)/float64(n)
+		hi := from + span*float64(i+1)/float64(n)
+		at := lo + (hi-lo)*rng.Float64()
+		p := rng.Intn(procs)
+		down := minDown + (maxDown-minDown)*rng.Float64()
+		if at < busyUntil[p] {
+			at = busyUntil[p]
+		}
+		busyUntil[p] = at + down
+		out = append(out, CrashEvent{Proc: p, At: at, Downtime: down})
+	}
+	return out
+}

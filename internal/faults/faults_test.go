@@ -1,4 +1,4 @@
-package faults
+package faults_test
 
 import (
 	"errors"
@@ -8,6 +8,7 @@ import (
 
 	"specomp/internal/cluster"
 	"specomp/internal/core"
+	"specomp/internal/faults"
 	"specomp/internal/netmodel"
 	"specomp/internal/simtime"
 )
@@ -17,7 +18,7 @@ import (
 func msg() netmodel.Msg { return netmodel.Msg{Src: 0, Dst: 1, Bytes: 100, Procs: 4, Now: 1} }
 
 func TestDropLosesExpectedFraction(t *testing.T) {
-	m := Drop{Inner: netmodel.Fixed{D: 1}, Prob: 0.3}
+	m := faults.Drop{Inner: netmodel.Fixed{D: 1}, Prob: 0.3}
 	rng := rand.New(rand.NewSource(1))
 	kept := 0
 	const n = 10000
@@ -31,19 +32,19 @@ func TestDropLosesExpectedFraction(t *testing.T) {
 }
 
 func TestDuplicateAddsCopies(t *testing.T) {
-	m := Duplicate{Inner: netmodel.Fixed{D: 1}, Prob: 1}
+	m := faults.Duplicate{Inner: netmodel.Fixed{D: 1}, Prob: 1}
 	rng := rand.New(rand.NewSource(1))
 	if got := len(m.Deliveries(msg(), rng)); got != 2 {
 		t.Errorf("deliveries = %d, want 2", got)
 	}
-	none := Duplicate{Inner: netmodel.Fixed{D: 1}, Prob: 0}
+	none := faults.Duplicate{Inner: netmodel.Fixed{D: 1}, Prob: 0}
 	if got := len(none.Deliveries(msg(), rng)); got != 1 {
 		t.Errorf("deliveries = %d, want 1", got)
 	}
 }
 
 func TestDelaySpikesBounded(t *testing.T) {
-	m := DelaySpikes{Inner: netmodel.Fixed{D: 1}, Prob: 1, ExtraMin: 2, ExtraMax: 3}
+	m := faults.DelaySpikes{Inner: netmodel.Fixed{D: 1}, Prob: 1, ExtraMin: 2, ExtraMax: 3}
 	rng := rand.New(rand.NewSource(1))
 	for i := 0; i < 100; i++ {
 		out := m.Deliveries(msg(), rng)
@@ -54,7 +55,7 @@ func TestDelaySpikesBounded(t *testing.T) {
 }
 
 func TestPartitionWindowCuts(t *testing.T) {
-	m := Partition{Inner: netmodel.Fixed{D: 1}, Src: 0, Dst: 1, From: 0.5, Until: 2}
+	m := faults.Partition{Inner: netmodel.Fixed{D: 1}, Src: 0, Dst: 1, From: 0.5, Until: 2}
 	rng := rand.New(rand.NewSource(1))
 	in := msg() // Now = 1, inside the window
 	if got := len(m.Deliveries(in, rng)); got != 0 {
@@ -73,7 +74,7 @@ func TestPartitionWindowCuts(t *testing.T) {
 }
 
 func TestStragglerSlowsSender(t *testing.T) {
-	m := Straggler{Inner: netmodel.Fixed{D: 1}, Proc: 0, From: 0, Factor: 2, Extra: 3}
+	m := faults.Straggler{Inner: netmodel.Fixed{D: 1}, Proc: 0, From: 0, Factor: 2, Extra: 3}
 	rng := rand.New(rand.NewSource(1))
 	if out := m.Deliveries(msg(), rng); len(out) != 1 || out[0] != 5 {
 		t.Errorf("straggler delivery %v, want [5]", out)
@@ -87,7 +88,7 @@ func TestStragglerSlowsSender(t *testing.T) {
 
 func TestInjectorsComposeAndResetForwards(t *testing.T) {
 	bus := &netmodel.SharedBus{Overhead: 1}
-	var m netmodel.Model = Drop{Inner: DelaySpikes{Inner: Straggler{Inner: bus, Proc: -1}}, Prob: 0}
+	var m netmodel.Model = faults.Drop{Inner: faults.DelaySpikes{Inner: faults.Straggler{Inner: bus, Proc: -1}}, Prob: 0}
 	rng := rand.New(rand.NewSource(1))
 	netmodel.DeliveriesOf(m, msg(), rng) // occupies the bus
 	netmodel.ResetModel(m)
@@ -142,7 +143,7 @@ const (
 // profile is the acceptance fault profile: 2% loss plus occasional heavy
 // delay spikes on a fixed-latency base network.
 func profile() netmodel.Model {
-	return Profile(netmodel.Fixed{D: 0.1}, 0.02, 0.05, 0.5, 2.0)
+	return faults.Profile(netmodel.Fixed{D: 0.1}, 0.02, 0.05, 0.5, 2.0)
 }
 
 func runMap(t *testing.T, r float64, cc cluster.Config, cfg core.Config) ([]core.Result, error) {
@@ -271,7 +272,7 @@ func TestGracefulDegradationRidesStraggler(t *testing.T) {
 			Machines: cluster.UniformMachines(testProcs, 1000),
 			// The stall lands mid-run, after the contracting map has nearly
 			// converged, so predictions made while riding it stay accurate.
-			Net: Straggler{
+			Net: faults.Straggler{
 				Inner: netmodel.Fixed{D: 0.1},
 				Proc:  1, From: 6, Until: 9, Extra: 3,
 			},

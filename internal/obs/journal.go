@@ -24,6 +24,17 @@ const (
 	EvRetrans     = "retrans"      // reliable layer retransmitted a message
 	EvDup         = "dup"          // duplicate delivery suppressed
 	EvGiveup      = "giveup"       // message abandoned after MaxRetries
+
+	// Crash/restart recovery (PR 3). V carries the kind-specific payload
+	// noted per kind.
+	EvCrash      = "crash"       // processor crashed; V = scheduled downtime (s)
+	EvRestart    = "restart"     // processor restarted; Iter = new incarnation epoch
+	EvPeerDead   = "peer_dead"   // reliable layer stopped retransmitting to a dead peer
+	EvCheckpoint = "checkpoint"  // engine snapshot persisted; Iter = validated iter, V = bytes
+	EvRestore    = "restore"     // engine state restored; Iter = validated iter of the snapshot
+	EvRejoin     = "rejoin"      // rejoin request handled; Proc = survivor, Peer = rejoiner
+	EvCatchup    = "catchup"     // rejoiner re-reached the surviving frontier; V = iterations replayed
+	EvCatchupGap = "catchup_gap" // peer log could not cover the outage; V = first re-sendable iter
 )
 
 // NoPeer is the Event.Peer value for events not tied to a peer.
