@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short bench race results results-ext faults chaos metrics cover fmt vet examples
+.PHONY: all build test test-short bench bench-core race results results-ext faults chaos metrics cover fmt vet lint examples
 
 all: build vet test
 
@@ -9,6 +9,15 @@ build:
 
 vet:
 	go vet ./...
+
+# Static analysis: vet always; staticcheck when installed (CI installs it,
+# see .github/workflows/ci.yml).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipped (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 test:
 	go test ./...
@@ -21,8 +30,15 @@ test-short:
 race:
 	go test -race ./internal/realtime/...
 
-bench:
+bench: bench-core
 	go test -bench=. -benchmem ./...
+
+# Engine iteration + app-kernel micro-benchmarks, recorded as a
+# machine-readable baseline (ns/op, allocs/op) in BENCH_core.json.
+bench-core:
+	go test -run '^$$' -bench 'EngineIteration|ComputeKernel' -benchmem \
+		./internal/core ./internal/apps/... | go run ./cmd/benchjson -o BENCH_core.json
+	@echo "wrote BENCH_core.json"
 
 # Regenerate the canonical paper reproduction (results_full.txt).
 results:

@@ -1,0 +1,40 @@
+package heat
+
+import (
+	"testing"
+
+	"specomp/internal/core"
+	"specomp/internal/partition"
+)
+
+// BenchmarkComputeKernel measures one explicit diffusion step of a middle
+// processor's row block — the f_comp the engine charges per iteration.
+func BenchmarkComputeKernel(b *testing.B) {
+	const P, pid = 4, 1
+	g := DefaultGrid(64, 64)
+	counts := partition.Proportional(g.Rows, []float64{1, 1, 1, 1})
+	blocks := make([][2]int, P)
+	lo := 0
+	for i, c := range counts {
+		blocks[i] = [2]int{lo, lo + c}
+		lo += c
+	}
+	apps := make([]*App, P)
+	for k := range apps {
+		apps[k] = NewApp(g, blocks, k, 1e-3)
+	}
+	view := make([][]float64, P)
+	for k, a := range apps {
+		loc := a.InitLocal()
+		if k != pid {
+			if pub, ok := any(a).(core.Publisher); ok {
+				loc = pub.Publish(loc)
+			}
+		}
+		view[k] = loc
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		view[pid] = apps[pid].Compute(view, i)
+	}
+}

@@ -20,6 +20,13 @@
 //     check, the engine recomputes the affected iteration from the actual
 //     values (charging the app-defined repair cost), and cascades the
 //     recomputation through any later speculatively computed iterations.
+//
+// The package is layered (see DESIGN.md §8): this file is the iteration
+// state machine; the open decisions live behind the SpecPolicy/CheckPolicy/
+// RepairPolicy interfaces (policy.go, defaults reproducing the seeded
+// behavior byte-for-byte); every payload lives in the pooled, ring-indexed
+// value plane (store.go, pool.go); the application contract is app.go; the
+// crash-recovery protocol is recover.go.
 package core
 
 import (
@@ -69,6 +76,17 @@ type DeadlineReceiver interface {
 
 var _ DeadlineReceiver = (*cluster.Proc)(nil)
 
+// SharedSender is an optional Transport extension for zero-copy sends: the
+// transport references the payload directly instead of copying it, under
+// the caller's guarantee that the slice is never mutated afterwards. The
+// engine uses it to share one immutable payload per broadcast across all
+// peers (and its own rejoin log) instead of copying once per destination.
+type SharedSender interface {
+	SendShared(dst, tag, iter int, data []float64)
+}
+
+var _ SharedSender = (*cluster.Proc)(nil)
+
 // Noter is an optional Transport extension for point-event timeline marks
 // (overruns, reconciliations). The simulated cluster forwards notes to its
 // OnEvent hook.
@@ -81,99 +99,6 @@ type Noter interface {
 // them into Stats.Net at the end of a run.
 type NetStatser interface {
 	NetStats() cluster.NetStats
-}
-
-// CheckResult reports the outcome of validating one speculated message.
-type CheckResult struct {
-	Bad   int     // check units out of tolerance
-	Total int     // check units examined
-	Ops   float64 // operation cost of performing the check (charged to the clock)
-}
-
-// App is one processor's view of a synchronous iterative application.
-type App interface {
-	// InitLocal returns the processor's initial partition values X_j(0).
-	InitLocal() []float64
-	// Compute evaluates X_j(t+1) from the global view of iteration t.
-	// view[k] holds partition k's values (actual or speculated);
-	// view[j] is the local partition. Compute must not retain view.
-	Compute(view [][]float64, t int) []float64
-	// ComputeOps is the operation count of one Compute call
-	// (the paper's N_i·f_comp).
-	ComputeOps() float64
-	// Check compares a speculated snapshot of peer k's partition against the
-	// actual one, judging whether computations based on the prediction are
-	// acceptable (the paper's error > threshold test). local is the local
-	// partition at iteration t, needed by error metrics that relate the
-	// speculation error to local state (e.g. eq. 11's particle distances).
-	Check(peer int, predicted, actual, local []float64, t int) CheckResult
-	// RepairOps is the operation cost of repairing the local computation
-	// after a failed check (the paper's k·N_i·f_comp recomputation charge,
-	// or a cheaper incremental correction).
-	RepairOps(r CheckResult) float64
-}
-
-// Publisher is an optional App extension: instead of broadcasting the whole
-// local partition every iteration, the engine broadcasts Publish(local) —
-// e.g. a stencil code publishes only its edge rows. Peers' view entries,
-// speculation, and error checking then all operate on the published form,
-// which shrinks both message sizes and speculation/checking overhead. The
-// local entry view[j] always stays the full partition.
-type Publisher interface {
-	Publish(local []float64) []float64
-}
-
-// Neighbors is an optional App extension restricting the exchange pattern:
-// the paper's general model is all-to-all ("each variable can potentially
-// be a function of all other variables"), but stencil-style applications
-// read only a few peers, and speculating or checking payloads that are
-// never read is pure overhead. Needs(k) reports whether this processor
-// reads peer k's payload; NeededBy(k) whether peer k reads this
-// processor's. Implementations must be mutually consistent across
-// processors (j.Needs(k) == k.NeededBy(j)), or receives will deadlock.
-// When an App implements Neighbors, unneeded peers get no messages and a
-// nil view entry, and Stopper.Done sees nil entries for them too.
-type Neighbors interface {
-	Needs(peer int) bool
-	NeededBy(peer int) bool
-}
-
-// Corrector is an optional App extension implementing the paper's
-// "correction function": instead of recomputing X_j(t+1) from scratch when
-// a speculation fails its check, the app patches the already-computed local
-// values incrementally given the prediction that was used and the actual
-// message (e.g. N-body subtracts the speculated pair forces and adds the
-// actual ones). Correct must return values identical to recomputing with
-// the corrected view; the engine still charges RepairOps.
-type Corrector interface {
-	// Correct returns the fixed X_j(t+1). computed is the speculatively
-	// computed local result; local is X_j(t); pred and act are peer k's
-	// speculated and actual iteration-t payloads.
-	Correct(computed, local []float64, peer int, pred, act []float64, t int) []float64
-}
-
-// Stopper is an optional App extension for convergence-based termination.
-// After iteration t is fully validated, Done is evaluated on the *actual*
-// exchanged snapshots of iteration t — every processor holds the identical
-// set (each peer's broadcast payload plus its own), so all processors reach
-// the same decision deterministically and stop at the same logical
-// iteration, without any extra synchronization round.
-type Stopper interface {
-	// Done reports whether the computation has converged. actualView[k] is
-	// processor k's iteration-t broadcast payload (the published form when
-	// the app is a Publisher, including the caller's own entry).
-	Done(actualView [][]float64, t int) bool
-	// DoneOps is the operation cost charged per evaluation.
-	DoneOps() float64
-}
-
-// Speculator is an optional App extension for domain-specific speculation
-// (e.g. the N-body velocity extrapolation of eq. 10). hist holds the actual
-// snapshots of the peer's partition, newest first; steps is how many
-// iterations past hist[0] to extrapolate. It returns the prediction and the
-// operation cost charged to the clock.
-type Speculator interface {
-	Speculate(peer int, hist [][]float64, steps int) (pred []float64, ops float64)
 }
 
 // Config parameterizes an engine run.
@@ -203,6 +128,16 @@ type Config struct {
 	// engine may run on unreconciled speculation before it blocks hard on
 	// the overdue peer. Defaults to 2 when Deadline is set.
 	MaxOverrun int
+
+	// Spec, Check and Repair replace the engine's default policy set (see
+	// policy.go). Nil fields get the defaults, which reproduce the paper's
+	// behaviour: predict via Speculator/Predictor, judge via App.Check, and
+	// repair via Corrector or full recompute with cascades. Every processor
+	// of a run must use behaviourally identical policies.
+	Spec   SpecPolicy
+	Check  CheckPolicy
+	Repair RepairPolicy
+
 	// Metrics, when non-nil, receives the engine's counters, gauges and
 	// histograms (per-processor labels). Nil — the default — keeps the
 	// engine on a nil-check-only fast path.
@@ -305,57 +240,48 @@ type Result struct {
 	Stats     Stats
 }
 
-// histEntry is one validated snapshot in a peer's backward-window ring,
-// tagged with the iteration it belongs to so the speculation base is
-// correct for any exchange pattern.
-type histEntry struct {
-	iter int
-	data []float64
-}
-
-// engine is the per-processor execution state.
+// engine is the per-processor iteration state machine. Payload storage
+// lives in the value plane; speculation, checking and repair decisions live
+// in the policies.
 type engine struct {
 	p   Transport
 	app App
 	cfg Config
 
-	spec    Speculator       // nil unless app implements it
+	specPol   SpecPolicy
+	checkPol  CheckPolicy
+	repairPol RepairPolicy
+
 	pub     Publisher        // nil unless app implements it
 	stopper Stopper          // nil unless app implements it
-	corr    Corrector        // nil unless app implements it
 	nbrs    Neighbors        // nil unless app implements it
 	dr      DeadlineReceiver // nil unless the transport implements it
 	noter   Noter            // nil unless the transport implements it
+	shared  SharedSender     // nil unless the transport implements it
 
 	stopped  bool // converged early
 	stopIter int  // iteration at which Done reported true
 
-	// received[k][t] holds the actual snapshot of peer k at iteration t.
-	received []map[int][]float64
-	// hist[k] holds peer k's validated snapshots, tagged with iteration.
-	hist []*history.Ring[histEntry]
+	// plane stores every per-iteration payload: stashed actuals, validated
+	// history, own results, assembled views and pending predictions.
+	plane *valuePlane
 	// overrun marks iterations whose validation was deferred past a
 	// Deadline expiry and still awaits reconciliation.
 	overrun map[int]bool
-	// own[t] is the local partition at iteration t.
-	own map[int][]float64
-	// views[t] is the assembled global view used to compute own[t+1].
-	views map[int][][]float64
-	// preds[t][k] is the prediction used for peer k at iteration t (nil if
-	// the actual value was available).
-	preds map[int][][]float64
 	// validated is the highest iteration whose inputs are fully validated.
 	validated int
 	// frontier is the highest iteration whose Compute has run.
 	frontier int
+	// badScratch backs validateIter's failed-peer list between calls.
+	badScratch []int
 
 	// Crash-recovery state (recover.go); all zero/nil when CheckpointEvery
 	// is unset.
 	store checkpoint.Store
 	fd    FailureDetector // nil unless the transport implements it
 	ep    Epocher         // nil unless the transport implements it
-	// sentLog retains recent own broadcast payloads to serve rejoin/refill
-	// requests from peers that lost them to a crash.
+	// sentLog retains recent own broadcast payloads (immutable copies) to
+	// serve rejoin/refill requests from peers that lost them to a crash.
 	sentLog *history.Ring[histEntry]
 	// noActualBefore[k] > 0 marks a catch-up gap: no actual snapshot of
 	// peer k below that iteration will ever arrive, so speculation for the
@@ -430,27 +356,25 @@ func Run(p Transport, app App, cfg Config) (Result, error) {
 		app: app,
 		cfg: cfg,
 
-		received:      make([]map[int][]float64, p.P()),
-		hist:          make([]*history.Ring[histEntry], p.P()),
-		own:           make(map[int][]float64),
-		views:         make(map[int][][]float64),
-		preds:         make(map[int][][]float64),
 		overrun:       make(map[int]bool),
 		validated:     -1,
 		frontier:      -1,
 		catchupTarget: -1,
 	}
-	if s, ok := app.(Speculator); ok {
-		e.spec = s
-	}
+	// The value plane's rings are sized from the windows: stashed actuals
+	// stay useful for lookback iterations (plus the deepest spread rejoin
+	// re-sends and checkpoint rollback can add); per-iteration state spans
+	// at most the unvalidated window. The overflow maps absorb anything
+	// rarer.
+	slack := cfg.FW + cfg.MaxOverrun + cfg.MaxCrashOverrun
+	peerCap := (cfg.BW + slack) + 2*slack + cfg.CheckpointEvery + 16
+	iterCap := slack + 4
+	e.plane = newValuePlane(p.ID(), p.P(), cfg.BW, peerCap, iterCap)
 	if p2, ok := app.(Publisher); ok {
 		e.pub = p2
 	}
 	if st, ok := app.(Stopper); ok {
 		e.stopper = st
-	}
-	if co, ok := app.(Corrector); ok {
-		e.corr = co
 	}
 	if nb, ok := app.(Neighbors); ok {
 		e.nbrs = nb
@@ -461,22 +385,38 @@ func Run(p Transport, app App, cfg Config) (Result, error) {
 	if n, ok := p.(Noter); ok {
 		e.noter = n
 	}
+	if sh, ok := p.(SharedSender); ok {
+		e.shared = sh
+	}
+	e.specPol = cfg.Spec
+	if e.specPol == nil {
+		ds := &defaultSpec{pred: cfg.Predictor, pool: e.plane.pool}
+		if s, ok := app.(Speculator); ok {
+			ds.app = s
+		} else if ip, ok := cfg.Predictor.(predict.InPlace); ok {
+			ds.inp = ip
+		}
+		e.specPol = ds
+	}
+	e.checkPol = cfg.Check
+	if e.checkPol == nil {
+		e.checkPol = defaultCheck{app: app}
+	}
+	e.repairPol = cfg.Repair
+	if e.repairPol == nil {
+		dr := &defaultRepair{app: app, maxOverrun: cfg.MaxOverrun, maxCrashOverrun: cfg.MaxCrashOverrun}
+		if co, ok := app.(Corrector); ok {
+			dr.corr = co
+		}
+		e.repairPol = dr
+	}
 	e.ob = newEngineObs(cfg.Metrics, cfg.Journal, p.ID())
 	if e.ob != nil {
 		e.ob.p = p
 	}
-	for k := 0; k < p.P(); k++ {
-		if k == p.ID() {
-			continue
-		}
-		e.received[k] = make(map[int][]float64)
-		// Defensive copies: a pushed snapshot must survive the producer
-		// mutating its buffer afterwards (e.g. a Corrector patching in place).
-		e.hist[k] = history.NewRingCopy(cfg.BW, cloneHistEntry)
-	}
 	if cfg.CheckpointEvery > 0 {
 		e.store = cfg.CheckpointStore
-		e.sentLog = history.NewRingCopy(cfg.RejoinLog, cloneHistEntry)
+		e.sentLog = history.NewRing[histEntry](cfg.RejoinLog)
 		e.noActualBefore = make([]int, p.P())
 		e.postCrashLeft = make([]int, p.P())
 		if fd, ok := p.(FailureDetector); ok {
@@ -504,9 +444,9 @@ func Run(p Transport, app App, cfg Config) (Result, error) {
 	if ns, ok := p.(NetStatser); ok {
 		e.stats.Net = ns.NetStats()
 	}
-	final := e.own[cfg.MaxIter]
+	final := e.plane.ownAt(cfg.MaxIter)
 	if e.stopped {
-		final = e.own[e.stopIter+1]
+		final = e.plane.ownAt(e.stopIter + 1)
 	}
 	return Result{Proc: p.ID(), Final: final, Converged: e.stopped, Stats: e.stats}, nil
 }
@@ -518,7 +458,7 @@ func (e *engine) run() {
 		// the peers to refill anything lost in the crash.
 		t0 = e.frontier + 1
 	} else {
-		e.own[0] = e.app.InitLocal()
+		e.plane.setOwn(0, e.app.InitLocal())
 	}
 	for t := t0; t < e.cfg.MaxIter && !e.stopped; t++ {
 		if e.cfg.HoldSends && t > 0 {
@@ -529,7 +469,6 @@ func (e *engine) run() {
 		e.broadcast(t)
 		e.drain()
 		view := e.assembleView(t)
-		e.views[t] = view
 		next := e.app.Compute(view, t)
 		ph := cluster.PhaseCompute
 		if e.degrading() && t-e.validated > e.cfg.FW {
@@ -538,7 +477,7 @@ func (e *engine) run() {
 			ph = cluster.PhaseOverrun
 		}
 		e.p.Compute(e.app.ComputeOps(), ph)
-		e.own[t+1] = next
+		e.plane.setOwn(t+1, next)
 		e.frontier = t
 		e.ob.iterEnd(t)
 		e.noteCatchup()
@@ -578,11 +517,8 @@ func (e *engine) run() {
 // overrunBudget is how far validation may lag past the forward window
 // before the engine blocks hard on the overdue peer.
 func (e *engine) overrunBudget() int {
-	b := e.cfg.MaxOverrun
-	if e.fd != nil && e.cfg.MaxCrashOverrun > 0 && e.anyNeededPeerDown() {
-		b += e.cfg.MaxCrashOverrun
-	}
-	return b
+	peerDown := e.fd != nil && e.cfg.MaxCrashOverrun > 0 && e.anyNeededPeerDown()
+	return e.repairPol.OverrunBudget(peerDown)
 }
 
 // lookback bounds how far back stashed actuals stay useful: the speculation
@@ -600,20 +536,33 @@ func (e *engine) degrading() bool {
 
 // broadcast sends the local partition (or its published projection) for
 // iteration t to every peer, and logs the payload so a crashed peer can ask
-// for it again on rejoin.
+// for it again on rejoin. On a SharedSender transport one immutable copy is
+// shared by every peer and the log; otherwise the transport copies per
+// destination.
 func (e *engine) broadcast(t int) {
-	payload := e.own[t]
+	payload := e.plane.ownAt(t)
 	if e.pub != nil {
 		payload = e.pub.Publish(payload)
 	}
+	if e.shared != nil {
+		payload = cloneFloats(payload)
+	}
 	if e.sentLog != nil {
-		e.sentLog.Push(histEntry{iter: t, data: payload})
+		logged := payload
+		if e.shared == nil {
+			logged = cloneFloats(payload)
+		}
+		e.sentLog.Push(histEntry{iter: t, data: logged})
 	}
 	for k := 0; k < e.p.P(); k++ {
 		if k == e.p.ID() || !e.neededBy(k) {
 			continue
 		}
-		e.p.Send(k, DataTag, t, payload)
+		if e.shared != nil {
+			e.shared.SendShared(k, DataTag, t, payload)
+		} else {
+			e.p.Send(k, DataTag, t, payload)
+		}
 	}
 }
 
@@ -639,14 +588,6 @@ func (e *engine) drain() {
 	}
 }
 
-// stash records an actual snapshot, first-wins: a rejoin re-send must never
-// overwrite the copy peers already computed against.
-func (e *engine) stash(m cluster.Message) {
-	if _, ok := e.received[m.Src][m.Iter]; !ok {
-		e.received[m.Src][m.Iter] = m.Data
-	}
-}
-
 // actual blocks until the real snapshot of peer k at iteration t is
 // available, dispatching any other traffic that arrives meanwhile. It
 // returns nil when the snapshot can never arrive (a catch-up gap) — callers
@@ -656,7 +597,7 @@ func (e *engine) stash(m cluster.Message) {
 // abandoned by the reliable layer.
 func (e *engine) actual(k, t int) []float64 {
 	for {
-		if v, ok := e.received[k][t]; ok {
+		if v, ok := e.plane.actualOf(k, t); ok {
 			return v
 		}
 		if e.noActualBefore != nil && t < e.noActualBefore[k] {
@@ -680,14 +621,14 @@ func (e *engine) actual(k, t int) []float64 {
 // for every actual snapshot (Figure 1); otherwise missing snapshots are
 // speculated (Figure 3) and recorded for later validation.
 func (e *engine) assembleView(t int) [][]float64 {
-	view := make([][]float64, e.p.P())
-	view[e.p.ID()] = e.own[t]
+	view := e.plane.newViewRow(t)
+	view[e.p.ID()] = e.plane.ownAt(t)
 	var preds [][]float64
 	for k := 0; k < e.p.P(); k++ {
 		if k == e.p.ID() || !e.needs(k) {
 			continue
 		}
-		if v, ok := e.received[k][t]; ok {
+		if v, ok := e.plane.actualOf(k, t); ok {
 			view[k] = v
 			continue
 		}
@@ -703,61 +644,28 @@ func (e *engine) assembleView(t int) [][]float64 {
 		}
 		view[k] = pred
 		if preds == nil {
-			preds = make([][]float64, e.p.P())
+			preds = e.plane.newPredRow(t)
 		}
 		preds[k] = pred
 		e.stats.SpecsMade++
 		e.ob.specMade(t, k)
 	}
-	if preds != nil {
-		e.preds[t] = preds
-	}
 	return view
 }
 
 // speculate predicts peer k's iteration-t snapshot from the newest actual
-// snapshots on hand. Returns nil if no actuals exist yet.
+// snapshots on hand. Returns nil if no history exists yet or the policy
+// declines.
 func (e *engine) speculate(k, t int) []float64 {
-	// Find the newest actual at or before t-1 and collect a consecutive
-	// newest-first history from it.
-	var hist [][]float64
-	base := -1
-	for s := t - 1; s >= 0 && s >= t-e.lookback(); s-- {
-		if v, ok := e.received[k][s]; ok {
-			base = s
-			hist = append(hist, v)
-			for q := s - 1; q >= 0 && len(hist) < e.cfg.BW; q-- {
-				v2, ok2 := e.received[k][q]
-				if !ok2 {
-					break
-				}
-				hist = append(hist, v2)
-			}
-			break
-		}
-	}
+	hist, base := e.plane.collectHist(k, t, e.lookback(), e.cfg.BW)
 	if base == -1 {
-		// Fall back to ring history (older validated snapshots).
-		if e.hist[k].Len() == 0 {
-			return nil
-		}
-		for _, h := range e.hist[k].NewestFirst() {
-			hist = append(hist, h.data)
-		}
-		base = e.hist[k].At(0).iter
+		return nil
 	}
 	steps := t - base
 	if steps < 1 {
 		steps = 1
 	}
-	var pred []float64
-	var ops float64
-	if e.spec != nil {
-		pred, ops = e.spec.Speculate(k, hist, steps)
-	} else {
-		pred = e.cfg.Predictor.Predict(hist, steps)
-		ops = e.cfg.Predictor.Ops() * float64(len(pred)) * float64(steps)
-	}
+	pred, ops := e.specPol.Speculate(k, hist, steps)
 	e.p.Compute(ops, cluster.PhaseSpec)
 	return pred
 }
@@ -817,7 +725,7 @@ func (e *engine) collectActuals(s int) bool {
 		if k == e.p.ID() || !e.needs(k) {
 			continue
 		}
-		if _, ok := e.received[k][s]; ok {
+		if _, ok := e.plane.actualOf(k, s); ok {
 			continue
 		}
 		if e.noActualBefore != nil && s < e.noActualBefore[k] {
@@ -838,7 +746,7 @@ func (e *engine) collectActuals(s int) bool {
 func (e *engine) waitActual(k, t int, timeout float64) bool {
 	deadline := e.p.Now() + timeout
 	for {
-		if _, ok := e.received[k][t]; ok {
+		if _, ok := e.plane.actualOf(k, t); ok {
 			return true
 		}
 		remaining := deadline - e.p.Now()
@@ -847,7 +755,7 @@ func (e *engine) waitActual(k, t int, timeout float64) bool {
 		}
 		m, ok := e.dr.RecvDeadline(cluster.Any, cluster.Any, remaining)
 		if !ok {
-			_, have := e.received[k][t]
+			_, have := e.plane.actualOf(k, t)
 			return have
 		}
 		e.intake(m)
@@ -868,10 +776,10 @@ func (e *engine) checkConverged(s int) {
 	if e.stopper == nil {
 		return
 	}
-	view := make([][]float64, e.p.P())
+	view := e.plane.convScratch
 	for k := 0; k < e.p.P(); k++ {
 		if k == e.p.ID() {
-			payload := e.own[s]
+			payload := e.plane.ownAt(s)
 			if e.pub != nil {
 				payload = e.pub.Publish(payload)
 			}
@@ -879,7 +787,8 @@ func (e *engine) checkConverged(s int) {
 			continue
 		}
 		if !e.needs(k) {
-			continue // no messages from unneeded peers
+			view[k] = nil // no messages from unneeded peers
+			continue
 		}
 		view[k] = e.actual(k, s)
 		if view[k] == nil {
@@ -899,11 +808,15 @@ func (e *engine) checkConverged(s int) {
 	}
 }
 
+// validateIter checks every prediction used at iteration t against the
+// actual messages; on any failure it asks the RepairPolicy to fix
+// X_j(t+1) and cascades recomputation through the speculated frontier.
 func (e *engine) validateIter(t int) {
-	preds := e.preds[t]
+	preds := e.plane.predsAt(t)
+	view := e.plane.viewAt(t)
 	dirty := false
 	var worst CheckResult
-	var badPeers []int
+	badPeers := e.badScratch[:0]
 	for k := 0; k < e.p.P(); k++ {
 		if k == e.p.ID() || !e.needs(k) {
 			continue
@@ -920,7 +833,7 @@ func (e *engine) validateIter(t int) {
 			// is accepted unverified and contributes no history entry.
 			continue
 		}
-		res := e.app.Check(k, preds[k], act, e.own[t], t)
+		res := e.checkPol.Check(k, preds[k], act, e.plane.ownAt(t), t)
 		if res.Ops > 0 {
 			e.p.Compute(res.Ops, cluster.PhaseCheck)
 		}
@@ -945,38 +858,41 @@ func (e *engine) validateIter(t int) {
 			worst.Total += res.Total
 			badPeers = append(badPeers, k)
 			// Patch the stored view with the actual values for recompute.
-			e.views[t][k] = act
+			view[k] = act
 		}
 		e.actualIntoHistory(k, t)
 	}
+	e.badScratch = badPeers[:0]
 	if !dirty {
 		return
 	}
-	// Repair, charging the app-defined cost (the paper's k·N_i·f_comp or a
-	// cheaper incremental correction): apply the app's correction function
-	// if it has one, otherwise recompute X_j(t+1) from the corrected view.
+	// Repair, charging the policy-reported cost (the paper's k·N_i·f_comp
+	// or a cheaper incremental correction).
 	e.stats.Repairs++
 	e.ob.repaired(t, e.frontier-t)
-	if e.corr != nil {
-		fixed := e.own[t+1]
-		for _, k := range badPeers {
-			fixed = e.corr.Correct(fixed, e.own[t], k, preds[k], e.views[t][k], t)
-		}
-		e.own[t+1] = fixed
-	} else {
-		e.own[t+1] = e.app.Compute(e.views[t], t)
-	}
-	e.p.Compute(e.app.RepairOps(worst), cluster.PhaseCorrect)
+	fixed, ops := e.repairPol.Repair(RepairContext{
+		Iter:     t,
+		View:     view,
+		Computed: e.plane.ownAt(t + 1),
+		Local:    e.plane.ownAt(t),
+		Preds:    preds,
+		BadPeers: badPeers,
+		Worst:    worst,
+	})
+	e.plane.setOwn(t+1, fixed)
+	e.p.Compute(ops, cluster.PhaseCorrect)
 	// Cascade: any later iterations already computed used the stale
 	// X_j(t+1). Their values are recomputed exactly, but the clock charge is
-	// the app's incremental repair cost — the affected work is the part
+	// the policy's incremental repair cost — the affected work is the part
 	// touched by the corrected inputs, the same accounting the paper's
 	// k·N_i·f_comp term models (a full-recompute app simply returns
 	// ComputeOps from RepairOps).
 	for s := t + 1; s <= e.frontier; s++ {
-		e.views[s][e.p.ID()] = e.own[s]
-		e.own[s+1] = e.app.Compute(e.views[s], s)
-		e.p.Compute(e.app.RepairOps(worst), cluster.PhaseCorrect)
+		row := e.plane.viewAt(s)
+		row[e.p.ID()] = e.plane.ownAt(s)
+		redo, cops := e.repairPol.Cascade(CascadeContext{Iter: s, View: row, Worst: worst})
+		e.plane.setOwn(s+1, redo)
+		e.p.Compute(cops, cluster.PhaseCorrect)
 		e.stats.CascadeRedos++
 		e.ob.cascaded(s)
 	}
@@ -984,24 +900,42 @@ func (e *engine) validateIter(t int) {
 
 // actualIntoHistory pushes peer k's iteration-t actual snapshot into the
 // backward-window ring (validation proceeds in iteration order, so pushes
-// are ordered too) and prunes stale stash entries. A catch-up gap (nil
-// actual) contributes nothing.
+// are ordered too). A catch-up gap (nil actual) contributes nothing.
 func (e *engine) actualIntoHistory(k, t int) {
 	v := e.actual(k, t)
 	if v == nil {
 		return
 	}
-	e.hist[k].Push(histEntry{iter: t, data: v})
-	delete(e.received[k], t-e.lookback()-1)
+	e.plane.pushHistory(k, t, v)
 }
 
-// retire drops per-iteration bookkeeping no longer needed after validation.
+// retire drops per-iteration bookkeeping no longer needed after validation,
+// recycling buffers back into the plane's pools.
 func (e *engine) retire(t int) {
-	delete(e.preds, t)
+	e.plane.advanceFloors(e.validated, e.lookback())
+	e.plane.dropPreds(t, e.specPol.Recycle)
 	if t <= e.frontier {
 		// views[t] may still be needed by a cascade from an earlier repair
 		// only while t is unvalidated; once validated it is safe to drop.
-		delete(e.views, t)
+		e.plane.dropView(t)
 	}
-	delete(e.own, t-1)
+	e.plane.dropOwn(t - 1)
+	if testRetireHook != nil {
+		testRetireHook(e, t)
+	}
+}
+
+// testRetireHook, when non-nil (set only by tests), observes the engine
+// after each retire — the memory-bound invariant is asserted there.
+var testRetireHook func(e *engine, t int)
+
+// cloneFloats copies a payload into a fresh buffer (non-nil for non-nil
+// input, preserving the empty/nil distinction the transports' Send has).
+func cloneFloats(s []float64) []float64 {
+	if s == nil {
+		return nil
+	}
+	d := make([]float64, len(s))
+	copy(d, s)
+	return d
 }

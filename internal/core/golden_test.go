@@ -1,0 +1,163 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"specomp/internal/checkpoint"
+	"specomp/internal/cluster"
+	"specomp/internal/faults"
+	"specomp/internal/netmodel"
+	"specomp/internal/obs"
+)
+
+// The golden-journal fixtures pin the engine's externally observable
+// behaviour across refactors: for a fixed seed, the structured run journal
+// (event kinds, iteration/peer stamps, virtual timestamps, checkpoint byte
+// counts) must stay byte-identical. The fixtures were generated before the
+// policy/value-plane decomposition, so any refactor that silently reorders
+// events, changes an op charge, or perturbs checkpoint encoding fails here.
+//
+// Regenerate intentionally with:
+//
+//	go test ./internal/core -run TestGoldenJournals -update-golden
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite journal golden fixtures")
+
+type goldenCase struct {
+	name string
+	run  func(t *testing.T, jr *obs.Journal)
+}
+
+func goldenCoupled(t *testing.T, jr *obs.Journal, cc cluster.Config, cfg Config, threshold float64) {
+	t.Helper()
+	cc.Journal = jr
+	cfg.Journal = jr
+	runCoupled(t, cc, cfg, threshold)
+}
+
+func goldenCases() []goldenCase {
+	return []goldenCase{
+		{
+			// The plain speculative pipeline: FW=1, occasional repairs.
+			name: "fw1",
+			run: func(t *testing.T, jr *obs.Journal) {
+				cc := cluster.Config{
+					Machines: cluster.UniformMachines(4, 1000),
+					Net:      netmodel.Fixed{D: 0.4},
+					Seed:     7,
+				}
+				goldenCoupled(t, jr, cc, Config{FW: 1, MaxIter: 12}, 1e-4)
+			},
+		},
+		{
+			// Deep forward window with a zero tolerance: every imperfect
+			// speculation repairs and cascades through the pipeline.
+			name: "fw3-cascade",
+			run: func(t *testing.T, jr *obs.Journal) {
+				cc := cluster.Config{
+					Machines: cluster.UniformMachines(4, 1000),
+					Net:      netmodel.Fixed{D: 0.25},
+					Seed:     11,
+				}
+				goldenCoupled(t, jr, cc, Config{FW: 3, MaxIter: 18}, 0)
+			},
+		},
+		{
+			// Graceful degradation: a transient spike on one link forces
+			// deadline expiries, overruns and reconciliations.
+			name: "degrade",
+			run: func(t *testing.T, jr *obs.Journal) {
+				cc := cluster.Config{
+					Machines: cluster.UniformMachines(3, 1000),
+					Net: netmodel.TransientSpike{
+						Inner: netmodel.Fixed{D: 0.05},
+						Src:   0, Dst: 1,
+						From: 0.5, Until: 2.0, Extra: 4,
+					},
+					Seed: 3,
+				}
+				goldenCoupled(t, jr, cc,
+					Config{FW: 2, MaxIter: 20, Deadline: 0.3}, 0.01)
+			},
+		},
+		{
+			// Crash/restart recovery: checkpoints (whose encoded byte counts
+			// land in the journal), a restore, rejoin service and catch-up.
+			name: "crash",
+			run: func(t *testing.T, jr *obs.Journal) {
+				cc := cluster.Config{
+					Machines:     cluster.UniformMachines(4, 1000),
+					Net:          netmodel.Fixed{D: 0.02},
+					Reliable:     true,
+					RetryTimeout: 0.5,
+					Seed:         19,
+					Crashes:      faults.CrashSchedule{{Proc: 2, At: 8, Downtime: 2}},
+				}
+				goldenCoupled(t, jr, cc, Config{
+					FW:              1,
+					MaxIter:         60,
+					Deadline:        0.3,
+					CheckpointEvery: 5,
+					CheckpointStore: checkpoint.NewMemStore(),
+					CheckpointOps:   50,
+				}, 0.02)
+			},
+		},
+	}
+}
+
+func TestGoldenJournals(t *testing.T) {
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			jr := obs.NewJournal()
+			tc.run(t, jr)
+			var b bytes.Buffer
+			if err := jr.WriteJSONL(&b); err != nil {
+				t.Fatal(err)
+			}
+			if b.Len() == 0 {
+				t.Fatal("empty journal")
+			}
+			path := filepath.Join("testdata", "journal_"+tc.name+".jsonl")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, b.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing fixture (run with -update-golden): %v", err)
+			}
+			if !bytes.Equal(b.Bytes(), want) {
+				t.Errorf("journal diverged from golden fixture %s: got %d bytes, want %d; "+
+					"the refactored engine is not byte-identical to the seeded baseline",
+					path, b.Len(), len(want))
+				diffAt := 0
+				g, w := b.Bytes(), want
+				for diffAt < len(g) && diffAt < len(w) && g[diffAt] == w[diffAt] {
+					diffAt++
+				}
+				lo := diffAt - 120
+				if lo < 0 {
+					lo = 0
+				}
+				hiG, hiW := diffAt+120, diffAt+120
+				if hiG > len(g) {
+					hiG = len(g)
+				}
+				if hiW > len(w) {
+					hiW = len(w)
+				}
+				t.Logf("first divergence at byte %d\n got: …%s…\nwant: …%s…", diffAt, g[lo:hiG], w[lo:hiW])
+			}
+		})
+	}
+}

@@ -46,7 +46,9 @@ const postCrashWindow = 32
 func (e *engine) intake(m cluster.Message) {
 	switch m.Tag {
 	case DataTag:
-		e.stash(m)
+		// First-wins is enforced by the plane: a rejoin re-send must never
+		// overwrite the copy peers already computed against.
+		e.plane.stash(m.Src, m.Iter, m.Data)
 	case RejoinTag:
 		e.handleRejoin(m)
 	case RejoinAckTag:
@@ -57,6 +59,17 @@ func (e *engine) intake(m cluster.Message) {
 // sendRejoin asks peer k to re-send every broadcast above iteration have.
 func (e *engine) sendRejoin(k, have int) {
 	e.p.Send(k, RejoinTag, have, nil)
+}
+
+// sendData re-sends a logged broadcast payload. Logged payloads are
+// immutable engine-owned copies, so a SharedSender transport may alias them
+// instead of copying.
+func (e *engine) sendData(dst, iter int, data []float64) {
+	if e.shared != nil {
+		e.shared.SendShared(dst, DataTag, iter, data)
+		return
+	}
+	e.p.Send(dst, DataTag, iter, data)
 }
 
 // handleRejoin serves a peer's rejoin/refill request: re-send every logged
@@ -71,7 +84,7 @@ func (e *engine) handleRejoin(m cluster.Message) {
 			oldest = e.sentLog.At(n - 1).iter
 			for i := n - 1; i >= 0; i-- {
 				if h := e.sentLog.At(i); h.iter > m.Iter {
-					e.p.Send(k, DataTag, h.iter, h.data)
+					e.sendData(k, h.iter, h.data)
 				}
 			}
 		}
@@ -178,8 +191,9 @@ func (e *engine) takeCheckpoint() {
 	e.ob.checkpointed(e.validated, len(blob))
 }
 
-// buildSnapshot assembles the engine state in the canonical (sorted) order
-// the checkpoint encoding requires.
+// buildSnapshot assembles the engine state in the canonical (ascending by
+// iteration) order the checkpoint encoding requires, reading it out of the
+// value plane.
 func (e *engine) buildSnapshot() *checkpoint.Snapshot {
 	epoch := 0
 	if e.ep != nil {
@@ -190,29 +204,18 @@ func (e *engine) buildSnapshot() *checkpoint.Snapshot {
 		Epoch:     epoch,
 		Validated: e.validated,
 		Frontier:  e.frontier,
-		Own:       entriesFromMap(e.own),
+		Own:       e.plane.ownEntries(e.validated, e.frontier),
 		Hist:      make([][]checkpoint.Entry, e.p.P()),
 		Received:  make([][]checkpoint.Entry, e.p.P()),
+		Preds:     e.plane.predRows(e.validated, e.frontier),
 		Overrun:   sortedKeys(e.overrun),
 	}
-	for k, r := range e.hist {
-		if r == nil {
-			continue
-		}
-		nf := r.NewestFirst()
-		for i := len(nf) - 1; i >= 0; i-- { // oldest first
-			s.Hist[k] = append(s.Hist[k], checkpoint.Entry{Iter: nf[i].iter, Data: nf[i].data})
-		}
-	}
-	for k, m := range e.received {
-		if m != nil {
-			s.Received[k] = entriesFromMap(m)
-		}
-	}
-	for _, t := range sortedKeys(e.preds) {
-		row := checkpoint.PredRow{Iter: t, Data: make([][]float64, e.p.P())}
-		copy(row.Data, e.preds[t])
-		s.Preds = append(s.Preds, row)
+	// Stash entries below the retention horizon are dead (no lookup reaches
+	// them); the emission window keeps blobs minimal and stable.
+	from := e.validated - e.lookback()
+	for k := 0; k < e.p.P(); k++ {
+		s.Hist[k] = e.plane.histEntries(k)
+		s.Received[k] = e.plane.receivedEntries(k, from)
 	}
 	for i := e.sentLog.Len() - 1; i >= 0; i-- { // oldest first
 		h := e.sentLog.At(i)
@@ -227,28 +230,27 @@ func (e *engine) buildSnapshot() *checkpoint.Snapshot {
 func (e *engine) applySnapshot(s *checkpoint.Snapshot) {
 	e.validated, e.frontier = s.Validated, s.Frontier
 	for _, en := range s.Own {
-		e.own[en.Iter] = en.Data
+		e.plane.setOwn(en.Iter, en.Data)
 	}
 	for k, hs := range s.Hist {
-		if k >= len(e.hist) || e.hist[k] == nil {
+		if k >= e.p.P() || k == e.p.ID() {
 			continue
 		}
 		for _, en := range hs {
-			e.hist[k].Push(histEntry{iter: en.Iter, data: en.Data})
+			e.plane.pushHistory(k, en.Iter, en.Data)
 		}
 	}
 	for k, rs := range s.Received {
-		if k >= len(e.received) || e.received[k] == nil {
+		if k >= e.p.P() || k == e.p.ID() {
 			continue
 		}
 		for _, en := range rs {
-			e.received[k][en.Iter] = en.Data
+			e.plane.stash(k, en.Iter, en.Data)
 		}
 	}
 	for _, row := range s.Preds {
-		data := make([][]float64, e.p.P())
+		data := e.plane.newPredRow(row.Iter)
 		copy(data, row.Data)
-		e.preds[row.Iter] = data
 	}
 	for _, it := range s.Overrun {
 		e.overrun[it] = true
@@ -257,9 +259,9 @@ func (e *engine) applySnapshot(s *checkpoint.Snapshot) {
 		e.sentLog.Push(histEntry{iter: en.Iter, data: en.Data})
 	}
 	for t := e.validated + 1; t <= e.frontier; t++ {
-		view := make([][]float64, e.p.P())
-		view[e.p.ID()] = e.own[t]
-		preds := e.preds[t]
+		view := e.plane.newViewRow(t)
+		view[e.p.ID()] = e.plane.ownAt(t)
+		preds := e.plane.predsAt(t)
 		for k := 0; k < e.p.P(); k++ {
 			if k == e.p.ID() || !e.needs(k) {
 				continue
@@ -268,26 +270,10 @@ func (e *engine) applySnapshot(s *checkpoint.Snapshot) {
 				view[k] = preds[k]
 				continue
 			}
-			view[k] = e.received[k][t]
+			v, _ := e.plane.actualOf(k, t)
+			view[k] = v
 		}
-		e.views[t] = view
 	}
-}
-
-// cloneHistEntry deep-copies a ring entry so stored history cannot be
-// corrupted by a producer reusing its buffer.
-func cloneHistEntry(h histEntry) histEntry {
-	d := make([]float64, len(h.data))
-	copy(d, h.data)
-	return histEntry{iter: h.iter, data: d}
-}
-
-func entriesFromMap(m map[int][]float64) []checkpoint.Entry {
-	out := make([]checkpoint.Entry, 0, len(m))
-	for _, k := range sortedKeys(m) {
-		out = append(out, checkpoint.Entry{Iter: k, Data: m[k]})
-	}
-	return out
 }
 
 func sortedKeys[V any](m map[int]V) []int {

@@ -85,3 +85,116 @@ func (r *Ring[T]) Reset() {
 	}
 	r.start, r.n = 0, 0
 }
+
+// IterRing is a fixed-capacity associative ring indexed by iteration number:
+// iteration t lives in slot t mod capacity, so lookups and inserts are O(1)
+// with no hashing and no per-entry allocation. It is the storage primitive
+// behind the engine's value plane: per-iteration state (snapshots, views,
+// predictions) whose live range is a sliding window of bounded width.
+//
+// Putting iteration t evicts whatever older iteration previously occupied
+// slot t mod capacity; the evicted value is returned so callers can recycle
+// its buffers. The zero value is unusable; create one with NewIterRing.
+type IterRing[T any] struct {
+	slots []iterSlot[T]
+	n     int
+	max   int // highest iteration ever Put (valid when any Put happened)
+	put   bool
+}
+
+type iterSlot[T any] struct {
+	iter int
+	ok   bool
+	v    T
+}
+
+// NewIterRing creates a ring able to hold `capacity` consecutive iterations.
+func NewIterRing[T any](capacity int) *IterRing[T] {
+	if capacity <= 0 {
+		panic("history: capacity must be positive")
+	}
+	return &IterRing[T]{slots: make([]iterSlot[T], capacity)}
+}
+
+// Cap returns the width of the iteration window the ring can hold.
+func (r *IterRing[T]) Cap() int { return len(r.slots) }
+
+// Len returns the number of iterations currently stored.
+func (r *IterRing[T]) Len() int { return r.n }
+
+// MaxIter returns the highest iteration ever Put, and whether any Put has
+// happened. Evictions and deletions do not lower it; it is an upper bound
+// for descending scans.
+func (r *IterRing[T]) MaxIter() (int, bool) { return r.max, r.put }
+
+func (r *IterRing[T]) slot(iter int) *iterSlot[T] {
+	i := iter % len(r.slots)
+	if i < 0 {
+		i += len(r.slots)
+	}
+	return &r.slots[i]
+}
+
+// Get returns the value stored for iteration iter.
+func (r *IterRing[T]) Get(iter int) (T, bool) {
+	s := r.slot(iter)
+	if s.ok && s.iter == iter {
+		return s.v, true
+	}
+	var zero T
+	return zero, false
+}
+
+// Ptr returns a pointer to iteration iter's stored value for in-place
+// mutation, or nil when the iteration is absent.
+func (r *IterRing[T]) Ptr(iter int) *T {
+	s := r.slot(iter)
+	if s.ok && s.iter == iter {
+		return &s.v
+	}
+	return nil
+}
+
+// Put stores v for iteration iter, replacing any value already stored for
+// that iteration. When the slot held a DIFFERENT (older or newer) iteration,
+// that entry is evicted and returned so the caller can recycle it.
+func (r *IterRing[T]) Put(iter int, v T) (evicted T, evictedIter int, wasEvicted bool) {
+	s := r.slot(iter)
+	if s.ok && s.iter != iter {
+		evicted, evictedIter, wasEvicted = s.v, s.iter, true
+		r.n--
+	}
+	// Entry count only grows when the slot was empty or just vacated.
+	if !s.ok || wasEvicted {
+		r.n++
+	}
+	s.iter, s.ok, s.v = iter, true, v
+	if !r.put || iter > r.max {
+		r.max = iter
+	}
+	r.put = true
+	return evicted, evictedIter, wasEvicted
+}
+
+// Delete removes iteration iter, returning its value for recycling.
+func (r *IterRing[T]) Delete(iter int) (T, bool) {
+	s := r.slot(iter)
+	if s.ok && s.iter == iter {
+		v := s.v
+		var zero T
+		s.v, s.ok = zero, false
+		r.n--
+		return v, true
+	}
+	var zero T
+	return zero, false
+}
+
+// Reset empties the ring without reallocating the slot array.
+func (r *IterRing[T]) Reset() {
+	var zero iterSlot[T]
+	for i := range r.slots {
+		r.slots[i] = zero
+	}
+	r.n, r.max, r.put = 0, 0, false
+}

@@ -32,18 +32,39 @@ type Predictor interface {
 	Ops() float64
 }
 
+// InPlace is implemented by predictors that can write their extrapolation
+// into a caller-provided buffer, letting a hot loop speculate without
+// allocating. All predictors in this package implement it.
+type InPlace interface {
+	// PredictInto computes the same values as Predict but writes them into
+	// dst, which must have len(hist[0]) elements. It returns the slice
+	// holding the result — dst on the in-place paths, but implementations
+	// whose algorithm is inherently out-of-place (e.g. multi-step rolling)
+	// may return a freshly allocated slice instead; callers must use the
+	// return value. The arithmetic (operation order, rounding) is identical
+	// to Predict. Returns nil when hist is empty.
+	PredictInto(dst []float64, hist [][]float64, steps int) []float64
+}
+
 // ZeroOrder predicts that values do not change: x*(t) = x(t−1). This is the
 // cheapest possible speculation function (BW = 1).
 type ZeroOrder struct{}
 
 // Predict implements Predictor.
-func (ZeroOrder) Predict(hist [][]float64, steps int) []float64 {
+func (z ZeroOrder) Predict(hist [][]float64, steps int) []float64 {
 	if len(hist) == 0 {
 		return nil
 	}
-	out := make([]float64, len(hist[0]))
-	copy(out, hist[0])
-	return out
+	return z.PredictInto(make([]float64, len(hist[0])), hist, steps)
+}
+
+// PredictInto implements InPlace.
+func (ZeroOrder) PredictInto(dst []float64, hist [][]float64, steps int) []float64 {
+	if len(hist) == 0 {
+		return nil
+	}
+	copy(dst, hist[0])
+	return dst
 }
 
 // Window implements Predictor.
@@ -62,20 +83,27 @@ func (ZeroOrder) Ops() float64 { return 1 }
 type Linear struct{}
 
 // Predict implements Predictor.
-func (Linear) Predict(hist [][]float64, steps int) []float64 {
+func (l Linear) Predict(hist [][]float64, steps int) []float64 {
 	if len(hist) == 0 {
 		return nil
 	}
-	out := make([]float64, len(hist[0]))
-	copy(out, hist[0])
+	return l.PredictInto(make([]float64, len(hist[0])), hist, steps)
+}
+
+// PredictInto implements InPlace.
+func (Linear) PredictInto(dst []float64, hist [][]float64, steps int) []float64 {
+	if len(hist) == 0 {
+		return nil
+	}
+	copy(dst, hist[0])
 	if len(hist) == 1 {
-		return out
+		return dst
 	}
 	s := float64(steps)
-	for i := range out {
-		out[i] += s * (hist[0][i] - hist[1][i])
+	for i := range dst {
+		dst[i] += s * (hist[0][i] - hist[1][i])
 	}
-	return out
+	return dst
 }
 
 // Window implements Predictor.
@@ -99,16 +127,23 @@ func (d Damped) Predict(hist [][]float64, steps int) []float64 {
 	if len(hist) == 0 {
 		return nil
 	}
-	out := make([]float64, len(hist[0]))
-	copy(out, hist[0])
+	return d.PredictInto(make([]float64, len(hist[0])), hist, steps)
+}
+
+// PredictInto implements InPlace.
+func (d Damped) PredictInto(dst []float64, hist [][]float64, steps int) []float64 {
+	if len(hist) == 0 {
+		return nil
+	}
+	copy(dst, hist[0])
 	if len(hist) == 1 {
-		return out
+		return dst
 	}
 	s := float64(steps) * d.Alpha
-	for i := range out {
-		out[i] += s * (hist[0][i] - hist[1][i])
+	for i := range dst {
+		dst[i] += s * (hist[0][i] - hist[1][i])
 	}
-	return out
+	return dst
 }
 
 // Window implements Predictor.
@@ -132,24 +167,53 @@ func (w WeightedSum) Predict(hist [][]float64, steps int) []float64 {
 	if len(hist) == 0 {
 		return nil
 	}
+	return w.PredictInto(make([]float64, len(hist[0])), hist, steps)
+}
+
+// PredictInto implements InPlace. Only the single-step case is computed in
+// place; multi-step prediction rolls the window forward through intermediate
+// snapshots and returns a freshly allocated result.
+func (w WeightedSum) PredictInto(dst []float64, hist [][]float64, steps int) []float64 {
+	if len(hist) == 0 {
+		return nil
+	}
 	if len(w.Weights) == 0 {
-		return ZeroOrder{}.Predict(hist, steps)
+		return ZeroOrder{}.PredictInto(dst, hist, steps)
 	}
 	n := len(hist[0])
+	if steps <= 0 {
+		copy(dst, hist[0])
+		return dst
+	}
 	// window holds newest-first snapshots, rolled forward each step.
 	depth := len(w.Weights)
 	if depth > len(hist) {
 		depth = len(hist)
-	}
-	window := make([][]float64, depth)
-	for i := range window {
-		window[i] = hist[i]
 	}
 	// Renormalize the usable prefix of weights so a short history still
 	// produces an unbiased estimate.
 	var wsum float64
 	for i := 0; i < depth; i++ {
 		wsum += w.Weights[i]
+	}
+	if steps == 1 {
+		for j := 0; j < n; j++ {
+			dst[j] = 0
+		}
+		for i := 0; i < depth; i++ {
+			wi := w.Weights[i]
+			if wsum != 0 {
+				wi /= wsum
+			}
+			for j := 0; j < n; j++ {
+				dst[j] += wi * hist[i][j]
+			}
+		}
+		return dst
+	}
+	window := make([][]float64, depth)
+	for i := range window {
+		window[i] = hist[i]
 	}
 	var out []float64
 	for s := 0; s < steps; s++ {
@@ -166,10 +230,6 @@ func (w WeightedSum) Predict(hist [][]float64, steps int) []float64 {
 		// Shift: the prediction becomes the newest snapshot.
 		copy(window[1:], window[:len(window)-1])
 		window[0] = out
-	}
-	if steps <= 0 {
-		out = make([]float64, n)
-		copy(out, hist[0])
 	}
 	return out
 }
@@ -196,15 +256,27 @@ func (pl Polynomial) Predict(hist [][]float64, steps int) []float64 {
 	if len(hist) == 0 {
 		return nil
 	}
+	return pl.PredictInto(make([]float64, len(hist[0])), hist, steps)
+}
+
+// PredictInto implements InPlace. The Lagrange basis weights (at most
+// Order+1 of them) still allocate a small scratch slice; the per-variable
+// accumulation is in place.
+func (pl Polynomial) PredictInto(dst []float64, hist [][]float64, steps int) []float64 {
+	if len(hist) == 0 {
+		return nil
+	}
 	pts := pl.Order + 1
 	if pts > len(hist) {
 		pts = len(hist)
 	}
 	if pts < 2 {
-		return ZeroOrder{}.Predict(hist, steps)
+		return ZeroOrder{}.PredictInto(dst, hist, steps)
 	}
 	n := len(hist[0])
-	out := make([]float64, n)
+	for j := 0; j < n; j++ {
+		dst[j] = 0
+	}
 	// Nodes at x = 0 (oldest used) … pts−1 (newest); evaluate at
 	// x = pts−1+steps. Lagrange basis weights are value-independent, so
 	// compute them once.
@@ -224,10 +296,10 @@ func (pl Polynomial) Predict(hist [][]float64, steps int) []float64 {
 		// hist index: node i corresponds to snapshot age (pts−1−i).
 		h := hist[pts-1-i]
 		for j := 0; j < n; j++ {
-			out[j] += l[i] * h[j]
+			dst[j] += l[i] * h[j]
 		}
 	}
-	return out
+	return dst
 }
 
 // Window implements Predictor.

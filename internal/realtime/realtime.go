@@ -99,7 +99,14 @@ func (t *transport) Compute(float64, cluster.Phase) {}
 func (t *transport) Send(dst, tag, iter int, data []float64) {
 	payload := make([]float64, len(data))
 	copy(payload, data)
-	m := cluster.Message{Src: t.id, Dst: dst, Tag: tag, Iter: iter, Data: payload, SentAt: t.Now()}
+	t.SendShared(dst, tag, iter, payload)
+}
+
+// SendShared enqueues the message with its payload aliased, not copied; the
+// receiver adopts the slice. The caller must never mutate data afterwards,
+// which lets a broadcast share one immutable payload across all peers.
+func (t *transport) SendShared(dst, tag, iter int, data []float64) {
+	m := cluster.Message{Src: t.id, Dst: dst, Tag: tag, Iter: iter, Data: data, SentAt: t.Now()}
 	ch := t.peers[dst]
 	if t.delay <= 0 {
 		ch <- m
