@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short bench bench-core race results results-ext faults chaos metrics cover fmt vet lint examples
+.PHONY: all build test test-short bench bench-core race distributed fuzz-wire results results-ext faults chaos metrics cover fmt vet lint examples
 
 all: build vet test
 
@@ -26,9 +26,20 @@ test:
 test-short:
 	go test -short ./...
 
-# The realtime substrate is the only package with real concurrency.
+# The substrates with real concurrency: goroutines (realtime) and OS
+# processes over TCP (distnet).
 race:
-	go test -race ./internal/realtime/...
+	go test -race ./internal/realtime/... ./internal/distnet/...
+
+# Multi-process loopback smoke: a real coordinator plus one OS process per
+# node over 127.0.0.1, race-checked.
+distributed:
+	go test -race -run 'TestLoopback|TestFourNode' -timeout 120s ./internal/distnet/
+
+# Fuzz the wire codec: truncated/corrupt/oversized frames must error,
+# never panic.
+fuzz-wire:
+	go test -run '^$$' -fuzz FuzzFrameDecode -fuzztime 30s ./internal/distnet/
 
 bench: bench-core
 	go test -bench=. -benchmem ./...
@@ -36,8 +47,8 @@ bench: bench-core
 # Engine iteration + app-kernel micro-benchmarks, recorded as a
 # machine-readable baseline (ns/op, allocs/op) in BENCH_core.json.
 bench-core:
-	go test -run '^$$' -bench 'EngineIteration|ComputeKernel' -benchmem \
-		./internal/core ./internal/apps/... | go run ./cmd/benchjson -o BENCH_core.json
+	go test -run '^$$' -bench 'EngineIteration|ComputeKernel|LoopbackRoundTrip' -benchmem \
+		./internal/core ./internal/apps/... ./internal/distnet | go run ./cmd/benchjson -o BENCH_core.json
 	@echo "wrote BENCH_core.json"
 
 # Regenerate the canonical paper reproduction (results_full.txt).

@@ -1,0 +1,139 @@
+// Command speccoord coordinates one distributed speculative run: it waits
+// for the configured number of specnode processes to join, assigns ranks,
+// distributes the run configuration, releases the start barrier, and
+// collects per-node results (plus checkpoint snapshots when enabled).
+//
+// Usage:
+//
+//	speccoord [-addr host:port] [-app heat|jacobi] [-procs P] [-iters N]
+//	          [-fw W] [-theta θ] [-rows R] [-cols C] [-n N] [-tol T]
+//	          [-checkpoint K] [-spawn] [-http] [-timeout d]
+//
+// With -spawn, speccoord launches the P node processes itself on
+// 127.0.0.1 (re-executing its own binary in node mode) — a whole
+// multi-process run from one command:
+//
+//	speccoord -spawn -procs 4 -app heat -iters 200
+//
+// Without -spawn it prints its address and waits for externally started
+// specnodes (same machine or remote).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"time"
+
+	"specomp/internal/distnet"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:0", "coordinator listen address")
+		app     = flag.String("app", "heat", "application: heat or jacobi")
+		procs   = flag.Int("procs", 4, "number of node processes")
+		iters   = flag.Int("iters", 200, "maximum iterations")
+		fw      = flag.Int("fw", 2, "forward speculation window")
+		bw      = flag.Int("bw", 0, "backward window (0 = predictor default)")
+		theta   = flag.Float64("theta", 1e-3, "speculation acceptance threshold θ")
+		rows    = flag.Int("rows", 48, "heat grid rows")
+		cols    = flag.Int("cols", 32, "heat grid columns")
+		n       = flag.Int("n", 64, "jacobi system size")
+		tol     = flag.Float64("tol", 0, "jacobi convergence tolerance (0 = run all iterations)")
+		seed    = flag.Int64("seed", 1, "problem seed (jacobi)")
+		ckpt    = flag.Int("checkpoint", 0, "checkpoint every K iterations (0 = off)")
+		spawn   = flag.Bool("spawn", false, "launch the node processes locally")
+		http    = flag.Bool("http", false, "spawned nodes serve /metrics and /journal on ephemeral ports")
+		timeout = flag.Duration("timeout", 5*time.Minute, "overall run timeout")
+		jsonOut = flag.Bool("json", false, "print the reports as JSON instead of a table")
+
+		// Node mode, used by -spawn to re-execute this binary as a specnode.
+		join = flag.String("join", "", "internal: run as a node against this coordinator")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "speccoord ", log.Ltime|log.Lmicroseconds)
+
+	if *join != "" {
+		httpAddr := ""
+		if *http {
+			httpAddr = "127.0.0.1:0"
+		}
+		res, err := distnet.RunNode(distnet.NodeConfig{
+			Coord:    *join,
+			HTTPAddr: httpAddr,
+			Logf:     func(format string, args ...any) { logger.Printf(format, args...) },
+		})
+		if err != nil {
+			logger.Fatalf("node: %v", err)
+		}
+		logger.Printf("node rank %d finished after %v", res.Rank, res.Wall)
+		return
+	}
+
+	spec := distnet.RunSpec{
+		App: *app, Procs: *procs, MaxIter: *iters, FW: *fw, BW: *bw,
+		Theta: *theta, Rows: *rows, Cols: *cols, N: *n, Tol: *tol,
+		Seed: *seed, CheckpointEvery: *ckpt,
+	}
+	coord, err := distnet.NewCoordinator(distnet.CoordConfig{
+		Addr: *addr, Spec: spec, Timeout: *timeout,
+		Logf: func(format string, args ...any) { logger.Printf(format, args...) },
+	})
+	if err != nil {
+		logger.Fatalf("%v", err)
+	}
+	fmt.Printf("coordinator listening on %s (waiting for %d nodes)\n", coord.Addr(), coord.Spec().Procs)
+
+	var nodes []*exec.Cmd
+	if *spawn {
+		self, err := os.Executable()
+		if err != nil {
+			self = os.Args[0]
+		}
+		for i := 0; i < coord.Spec().Procs; i++ {
+			args := []string{"-join", coord.Addr()}
+			if *http {
+				args = append(args, "-http")
+			}
+			cmd := exec.Command(self, args...)
+			cmd.Stdout = os.Stderr
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				logger.Fatalf("spawning node %d: %v", i, err)
+			}
+			nodes = append(nodes, cmd)
+		}
+		logger.Printf("spawned %d local node processes", len(nodes))
+	}
+
+	reports, err := coord.Wait()
+	for _, cmd := range nodes {
+		_ = cmd.Wait()
+	}
+	if err != nil {
+		logger.Fatalf("%v", err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			logger.Fatalf("%v", err)
+		}
+		return
+	}
+	fmt.Printf("%-4s %-21s %-9s %6s %6s %5s %7s %8s %9s %10s\n",
+		"rank", "addr", "converged", "iters", "specs", "bad", "repairs", "wall", "msgs", "bytes")
+	for _, r := range reports {
+		fmt.Printf("%-4d %-21s %-9v %6d %6d %5d %7d %7.3fs %9d %10d\n",
+			r.Rank, r.Addr, r.Converged, r.Iters, r.SpecsMade, r.SpecsBad,
+			r.Repairs, r.WallSec, r.MsgsSent, r.BytesSent)
+		if r.HTTP != "" {
+			fmt.Printf("     └─ served http://%s/metrics and /journal during the run\n", r.HTTP)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Command specnode runs one processor of a distributed speculative run: it
+// joins the coordinator, receives its rank and run configuration, builds
+// the peer mesh over TCP, drives the engine, and reports its result back.
+//
+// Usage:
+//
+//	specnode -coord host:port [-listen addr] [-http addr] [-epoch n]
+//
+// Start one specnode per processor (on one machine or many) against a
+// speccoord; ranks are assigned in arrival order. -http serves live
+// /metrics and /journal for this node during the run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"specomp/internal/distnet"
+)
+
+func main() {
+	var (
+		coord  = flag.String("coord", "", "coordinator address (required)")
+		listen = flag.String("listen", "127.0.0.1:0", "peer listen address")
+		http   = flag.String("http", "", "serve /metrics and /journal on this address (e.g. 127.0.0.1:0)")
+		epoch  = flag.Int("epoch", 0, "incarnation epoch (0 on first launch; bump when relaunching a crashed node)")
+	)
+	flag.Parse()
+	if *coord == "" {
+		fmt.Fprintln(os.Stderr, "specnode: -coord is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "specnode ", log.Ltime|log.Lmicroseconds)
+	res, err := distnet.RunNode(distnet.NodeConfig{
+		Coord:    *coord,
+		Listen:   *listen,
+		HTTPAddr: *http,
+		Epoch:    *epoch,
+		Logf:     func(format string, args ...any) { logger.Printf(format, args...) },
+	})
+	if err != nil {
+		logger.Fatalf("%v", err)
+	}
+	logger.Printf("rank %d finished: converged=%v iters=%d specs=%d bad=%d repairs=%d wall=%v",
+		res.Rank, res.Result.Converged, res.Result.Stats.Iters,
+		res.Result.Stats.SpecsMade, res.Result.Stats.SpecsBad,
+		res.Result.Stats.Repairs, res.Wall)
+}

@@ -47,11 +47,13 @@ const (
 	RejoinAckTag = 3 // response: Iter = responder frontier, Data[0] = oldest re-sendable iter
 )
 
-// Transport is what the engine needs from an execution substrate. The
-// simulated cluster's *cluster.Proc implements it against virtual time; the
-// realtime package implements it over goroutines, channels and the wall
-// clock. Compute charges work to the substrate's clock — a no-op for wall
-// clock substrates, where the work happens inside the app itself.
+// Transport is the minimal subset of the cluster.Transport contract the
+// engine needs from an execution substrate. The simulated cluster's
+// *cluster.Proc implements it against virtual time; the realtime package
+// implements it over goroutines and channels; the distnet package over OS
+// processes and TCP sockets — all against the same full contract (see the
+// assertion below). Compute charges work to the substrate's clock — a no-op
+// for wall-clock substrates, where the work happens inside the app itself.
 type Transport interface {
 	ID() int
 	P() int
@@ -64,6 +66,14 @@ type Transport interface {
 }
 
 var _ Transport = (*cluster.Proc)(nil)
+
+// Any full cluster.Transport satisfies the engine's contract with every
+// optional capability (zero-copy sends, deadline receives) enabled.
+var _ interface {
+	Transport
+	DeadlineReceiver
+	SharedSender
+} = (cluster.Transport)(nil)
 
 // DeadlineReceiver is an optional Transport extension providing a receive
 // bounded by a timeout (in the transport's time unit). ok=false means the

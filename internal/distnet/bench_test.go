@@ -1,0 +1,107 @@
+package distnet
+
+import (
+	"bufio"
+	"bytes"
+	"net"
+	"testing"
+
+	"specomp/internal/cluster"
+)
+
+// BenchmarkFrameEncode measures the codec alone: one data frame with a
+// 256-element payload into a reusable buffer.
+func BenchmarkFrameEncode(b *testing.B) {
+	f := Frame{Type: FrameData, Msg: cluster.Message{
+		Src: 0, Dst: 1, Tag: 1, Iter: 100, SentAt: 1.5,
+		Data: make([]float64, 256),
+	}}
+	var buf bytes.Buffer
+	var scratch []byte
+	var err error
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if scratch, err = writeFrame(&buf, scratch, &f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+// BenchmarkFrameDecode measures the decode side of the same frame.
+func BenchmarkFrameDecode(b *testing.B) {
+	f := Frame{Type: FrameData, Msg: cluster.Message{
+		Src: 0, Dst: 1, Tag: 1, Iter: 100, SentAt: 1.5,
+		Data: make([]float64, 256),
+	}}
+	var buf bytes.Buffer
+	if _, err := writeFrame(&buf, nil, &f); err != nil {
+		b.Fatal(err)
+	}
+	enc := buf.Bytes()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := readFrame(bytes.NewReader(enc)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLoopbackRoundTrip measures one data-frame round trip over a real
+// 127.0.0.1 TCP connection — the latency floor under every distributed run
+// on one machine, and the figure to compare against the simulator's
+// modelled latencies.
+func BenchmarkLoopbackRoundTrip(b *testing.B) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+
+	// Echo peer: read a frame, write it straight back.
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		var scratch []byte
+		for {
+			f, err := readFrame(br)
+			if err != nil {
+				return
+			}
+			if scratch, err = writeFrame(conn, scratch, &f); err != nil {
+				return
+			}
+		}
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+
+	f := Frame{Type: FrameData, Msg: cluster.Message{
+		Src: 0, Dst: 1, Tag: 1, Iter: 7, SentAt: 0.5,
+		Data: make([]float64, 64), // a typical strip-edge payload
+	}}
+	var scratch []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if scratch, err = writeFrame(conn, scratch, &f); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := readFrame(br); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+package distnet
+
+// The coordinator: membership, rank assignment, run configuration,
+// barriers, checkpoint custody and result collection. It is control plane
+// only — no application data flows through it; peers exchange partitions
+// directly over the mesh.
+//
+// Protocol, in run order (all frames over each node's one coordinator
+// connection):
+//
+//	node  → coord   hello   {epoch, peer-listen-addr}
+//	coord → node    config  {rank, peers[], spec, checkpoint?}   (after P hellos)
+//	node  → coord   barrier {0}                                  (mesh is up)
+//	coord → node    barrier {0}                                  (all meshes up: start)
+//	node  → coord   checkpoint {proc, blob}                      (0..n times during the run)
+//	node  → coord   result  {json}
+//	coord → node    shutdown                                     (after P results)
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// CoordConfig parameterizes a coordinator.
+type CoordConfig struct {
+	// Addr is the listen address (default "127.0.0.1:0").
+	Addr string
+	// Spec is the run configuration distributed to every node; Spec.Procs
+	// is the membership size the coordinator waits for.
+	Spec RunSpec
+	// Timeout bounds the whole run, join to last result (default 5m).
+	Timeout time.Duration
+	// Logf, when non-nil, receives membership and lifecycle lines.
+	Logf func(format string, args ...any)
+}
+
+// NodeReport is one node's outcome as collected by the coordinator.
+type NodeReport struct {
+	Rank      int       `json:"rank"`
+	Addr      string    `json:"addr"`           // peer listen address
+	HTTP      string    `json:"http,omitempty"` // node's obs endpoint, if served
+	Converged bool      `json:"converged"`
+	Iters     int       `json:"iters"`
+	SpecsMade int       `json:"specs_made"`
+	SpecsBad  int       `json:"specs_bad"`
+	Repairs   int       `json:"repairs"`
+	Overruns  int       `json:"overruns"`
+	WallSec   float64   `json:"wall_sec"`
+	CommSec   float64   `json:"comm_sec"`
+	MsgsSent  int       `json:"msgs_sent"`
+	BytesSent int       `json:"bytes_sent"`
+	Final     []float64 `json:"final,omitempty"`
+}
+
+// Coordinator runs the membership/barrier/result protocol for one run.
+type Coordinator struct {
+	ln   net.Listener
+	spec RunSpec
+	cfg  CoordConfig
+
+	mu     sync.Mutex
+	ckpts  map[int][]byte // latest snapshot per rank (checkpoint custody)
+	closed bool
+
+	done    chan struct{}
+	reports []NodeReport
+	runErr  error
+}
+
+// coordMember is one joined node from the coordinator's side.
+type coordMember struct {
+	rank  int
+	addr  string
+	epoch int
+	conn  net.Conn
+	wmu   sync.Mutex // serializes control-frame writes
+}
+
+func (m *coordMember) write(f *Frame) error {
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	_, err := writeFrame(m.conn, nil, f)
+	return err
+}
+
+// NewCoordinator starts a coordinator listening for cfg.Spec.Procs nodes
+// and immediately begins the membership protocol in the background; Wait
+// blocks for the outcome.
+func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
+	if err := cfg.Spec.Normalize(); err != nil {
+		return nil, err
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Minute
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("distnet: coordinator listener: %w", err)
+	}
+	c := &Coordinator{
+		ln:    ln,
+		spec:  cfg.Spec,
+		cfg:   cfg,
+		ckpts: make(map[int][]byte),
+		done:  make(chan struct{}),
+	}
+	go c.run()
+	return c, nil
+}
+
+// Addr returns the coordinator's bound listen address.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Spec returns the normalized run configuration.
+func (c *Coordinator) Spec() RunSpec { return c.spec }
+
+// Checkpoint returns the latest snapshot in custody for rank, if any.
+func (c *Coordinator) Checkpoint(rank int) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.ckpts[rank]
+	return b, ok
+}
+
+// Wait blocks until every node reported its result (returning the reports
+// sorted by rank) or the run failed.
+func (c *Coordinator) Wait() ([]NodeReport, error) {
+	<-c.done
+	return c.reports, c.runErr
+}
+
+// Close aborts the run and releases the listener.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	closed := c.closed
+	c.closed = true
+	c.mu.Unlock()
+	if !closed {
+		_ = c.ln.Close()
+	}
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// run executes the protocol: accept P hellos, assign ranks in arrival
+// order, distribute configs, relay the start barrier, collect checkpoints
+// and results, broadcast shutdown.
+func (c *Coordinator) run() {
+	defer close(c.done)
+	deadline := time.Now().Add(c.cfg.Timeout)
+	p := c.spec.Procs
+
+	members, err := c.gather(deadline)
+	if err != nil {
+		c.runErr = err
+		c.teardown(members)
+		return
+	}
+	peers := make([]string, p)
+	for _, m := range members {
+		peers[m.rank] = m.addr
+	}
+	for _, m := range members {
+		c.mu.Lock()
+		ckpt := c.ckpts[m.rank]
+		c.mu.Unlock()
+		blob := encodeJSON(wireConfig{Rank: m.rank, Peers: peers, Spec: c.spec, Checkpoint: ckpt})
+		if err := m.write(&Frame{Type: FrameConfig, Blob: blob}); err != nil {
+			c.runErr = fmt.Errorf("distnet: sending config to rank %d: %w", m.rank, err)
+			c.teardown(members)
+			return
+		}
+	}
+	c.logf("membership complete: %d nodes, spec %s/%d iters", p, c.spec.App, c.spec.MaxIter)
+
+	// Event pump: one reader per member feeding a central channel.
+	type event struct {
+		rank int
+		f    Frame
+		err  error
+	}
+	events := make(chan event, p*4)
+	for _, m := range members {
+		m := m
+		go func() {
+			br := bufio.NewReader(m.conn)
+			for {
+				f, err := readFrame(br)
+				if err != nil {
+					events <- event{rank: m.rank, err: err}
+					return
+				}
+				events <- event{rank: m.rank, f: f}
+			}
+		}()
+	}
+
+	barrierArrived := make(map[int]map[int]bool) // barrier id → ranks arrived
+	results := make(map[int]*resultMsg)
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	for len(results) < p {
+		select {
+		case ev := <-events:
+			if ev.err != nil {
+				if results[ev.rank] == nil {
+					c.runErr = fmt.Errorf("distnet: rank %d connection lost before its result: %w", ev.rank, ev.err)
+					c.teardown(members)
+					return
+				}
+				continue // post-result close is expected
+			}
+			switch ev.f.Type {
+			case FrameBarrier:
+				id := ev.f.Seq
+				if barrierArrived[id] == nil {
+					barrierArrived[id] = make(map[int]bool)
+				}
+				barrierArrived[id][ev.rank] = true
+				if len(barrierArrived[id]) == p {
+					c.logf("barrier %d released", id)
+					for _, m := range members {
+						_ = m.write(&Frame{Type: FrameBarrier, Seq: id})
+					}
+					delete(barrierArrived, id)
+				}
+			case FrameCheckpoint:
+				c.mu.Lock()
+				c.ckpts[ev.f.Rank] = ev.f.Blob
+				c.mu.Unlock()
+			case FrameResult:
+				var rm resultMsg
+				if err := json.Unmarshal(ev.f.Blob, &rm); err != nil {
+					c.runErr = fmt.Errorf("distnet: decoding rank %d result: %w", ev.rank, err)
+					c.teardown(members)
+					return
+				}
+				rm.Rank = ev.rank // trust the connection, not the body
+				results[ev.rank] = &rm
+				c.logf("rank %d done: converged=%v iters=%d", ev.rank, rm.Converged, rm.Iters)
+			}
+		case <-timer.C:
+			c.runErr = fmt.Errorf("distnet: run timed out after %v with %d/%d results", c.cfg.Timeout, len(results), p)
+			c.teardown(members)
+			return
+		}
+	}
+
+	for _, m := range members {
+		_ = m.write(&Frame{Type: FrameShutdown})
+	}
+	// Give the shutdown frames a moment on the wire before closing.
+	time.Sleep(50 * time.Millisecond)
+	c.teardown(members)
+
+	c.reports = make([]NodeReport, 0, p)
+	for rank := 0; rank < p; rank++ {
+		rm := results[rank]
+		c.reports = append(c.reports, NodeReport{
+			Rank: rank, Addr: peers[rank], HTTP: rm.HTTP,
+			Converged: rm.Converged, Iters: rm.Iters,
+			SpecsMade: rm.SpecsMade, SpecsBad: rm.SpecsBad,
+			Repairs: rm.Repairs, Overruns: rm.Overruns,
+			WallSec: rm.WallSec, CommSec: rm.CommSec,
+			MsgsSent: rm.MsgsSent, BytesSent: rm.BytesSent,
+			Final: rm.Final,
+		})
+	}
+	sort.Slice(c.reports, func(i, j int) bool { return c.reports[i].Rank < c.reports[j].Rank })
+}
+
+// gather accepts connections until every rank has said hello, assigning
+// ranks in arrival order.
+func (c *Coordinator) gather(deadline time.Time) ([]*coordMember, error) {
+	p := c.spec.Procs
+	members := make([]*coordMember, 0, p)
+	for len(members) < p {
+		_ = setAcceptDeadline(c.ln, deadline)
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return members, fmt.Errorf("distnet: waiting for %d more nodes: %w", p-len(members), err)
+		}
+		hello, err := readHello(conn, time.Until(deadline))
+		if err != nil {
+			conn.Close()
+			return members, err
+		}
+		m := &coordMember{rank: len(members), addr: hello.Addr, epoch: hello.Epoch, conn: conn}
+		members = append(members, m)
+		c.logf("node %d joined from %s (peer addr %s, epoch %d)", m.rank, conn.RemoteAddr(), m.addr, m.epoch)
+	}
+	return members, nil
+}
+
+// teardown closes every member connection and the listener.
+func (c *Coordinator) teardown(members []*coordMember) {
+	for _, m := range members {
+		if m != nil {
+			_ = m.conn.Close()
+		}
+	}
+	c.Close()
+}

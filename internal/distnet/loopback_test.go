@@ -1,0 +1,99 @@
+package distnet
+
+// Multi-process loopback smoke: a real coordinator in the test process and
+// one real OS process per node (the test binary re-executed in helper
+// mode), all over 127.0.0.1 — the closest a test gets to the deployment
+// shape without a second machine.
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+
+	"specomp/internal/apps/heat"
+)
+
+const (
+	helperEnv = "SPECOMP_NODE_HELPER"
+	coordEnv  = "SPECOMP_COORD_ADDR"
+)
+
+// TestHelperSpecnode is not a test: it is the node-process body the
+// loopback tests re-execute the test binary into. It does nothing unless
+// the helper environment variable marks this process as a node.
+func TestHelperSpecnode(t *testing.T) {
+	if os.Getenv(helperEnv) != "1" {
+		t.Skip("helper process body, not a test")
+	}
+	res, err := RunNode(NodeConfig{
+		Coord:    os.Getenv(coordEnv),
+		HTTPAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "helper node: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "helper node rank %d done after %v\n", res.Rank, res.Wall)
+	os.Exit(0)
+}
+
+// spawnNodeProcess launches one node as a separate OS process.
+func spawnNodeProcess(t *testing.T, coordAddr string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestHelperSpecnode$", "-test.v")
+	cmd.Env = append(os.Environ(), helperEnv+"=1", coordEnv+"="+coordAddr)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("spawning node process: %v", err)
+	}
+	return cmd
+}
+
+func TestLoopbackHeatMultiProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process smoke is not -short")
+	}
+	spec := RunSpec{App: "heat", Procs: 4, MaxIter: 50, FW: 2, Theta: 1e-3, Rows: 24, Cols: 16}
+	coord, err := NewCoordinator(CoordConfig{Spec: spec, Timeout: 2 * time.Minute, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	spec = coord.Spec()
+
+	procs := make([]*exec.Cmd, spec.Procs)
+	for i := range procs {
+		procs[i] = spawnNodeProcess(t, coord.Addr())
+	}
+	reports, err := coord.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cmd := range procs {
+		if werr := cmd.Wait(); werr != nil {
+			t.Errorf("node process %d: %v", i, werr)
+		}
+	}
+
+	// Convergence must match the serial reference within the speculation
+	// tolerance — across real process boundaries.
+	serial := heat.DefaultGrid(spec.Rows, spec.Cols).SerialRun(spec.MaxIter)
+	field := assembleHeat(t, spec, reports)
+	if d := heat.MaxDiff(field, serial); d > 0.5 {
+		t.Errorf("multi-process field deviates %g from serial reference", d)
+	}
+	for _, rep := range reports {
+		if rep.Iters != spec.MaxIter {
+			t.Errorf("rank %d ran %d iters, want %d", rep.Rank, rep.Iters, spec.MaxIter)
+		}
+		if rep.HTTP == "" {
+			t.Errorf("rank %d served no obs endpoint", rep.Rank)
+		}
+		if rep.MsgsSent == 0 {
+			t.Errorf("rank %d sent no messages", rep.Rank)
+		}
+	}
+}

@@ -1,0 +1,621 @@
+package distnet
+
+// The node runtime: one OS process per processor, driving the unchanged
+// internal/core engine through the cluster.Transport contract over real TCP
+// links. RunNode is the whole lifecycle — join the coordinator, build the
+// peer mesh, pass the start barrier, run the engine, report the result,
+// tear down on the coordinator's shutdown.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"specomp/internal/checkpoint"
+	"specomp/internal/cluster"
+	"specomp/internal/core"
+	"specomp/internal/faults"
+	"specomp/internal/netmodel"
+	"specomp/internal/obs"
+	"specomp/internal/realtime"
+)
+
+// NodeConfig parameterizes one node process.
+type NodeConfig struct {
+	// Coord is the coordinator's address. Required.
+	Coord string
+	// Listen is the peer listen address (default "127.0.0.1:0"); the bound
+	// address is reported to the coordinator for mesh assembly.
+	Listen string
+	// HTTPAddr, when non-empty, serves live introspection for the run:
+	// /metrics (Prometheus), /journal (JSONL), expvar and pprof — the same
+	// endpoint realtime runs get. Use "127.0.0.1:0" for an ephemeral port.
+	HTTPAddr string
+	// Faults, when non-nil, applies the simulator's fault semantics to this
+	// node's send path: every outgoing data message is planned through the
+	// model (drop / duplicate / extra sender-side delay) before it touches
+	// the socket. See faults.Injector.
+	Faults netmodel.Model
+	// FaultSeed seeds the injector's RNG.
+	FaultSeed int64
+	// Epoch is this process's incarnation epoch — 0 on first launch, higher
+	// when a supervisor relaunched a crashed node.
+	Epoch int
+	// DialTimeout bounds each connection establishment, retried with
+	// exponential backoff inside it (default 10s).
+	DialTimeout time.Duration
+	// HeartbeatEvery is the liveness beacon interval (default 250ms);
+	// HeartbeatTimeout is the staleness threshold after which a silent peer
+	// is reported down to the engine's failure detector (default 2s).
+	HeartbeatEvery   time.Duration
+	HeartbeatTimeout time.Duration
+	// Logf, when non-nil, receives progress lines (addresses, mesh events).
+	Logf func(format string, args ...any)
+}
+
+func (cfg *NodeConfig) normalize() error {
+	if cfg.Coord == "" {
+		return fmt.Errorf("distnet: NodeConfig.Coord is required")
+	}
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = 250 * time.Millisecond
+	}
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = 2 * time.Second
+	}
+	return nil
+}
+
+func (cfg *NodeConfig) logf(format string, args ...any) {
+	if cfg.Logf != nil {
+		cfg.Logf(format, args...)
+	}
+}
+
+// NodeResult is one node process's outcome.
+type NodeResult struct {
+	Rank int
+	// HTTPAddr is the bound introspection address ("" when not served).
+	HTTPAddr string
+	// Result is the engine's outcome, exactly as on the other substrates.
+	Result core.Result
+	// Wall is the run duration from start barrier to engine completion.
+	Wall time.Duration
+}
+
+// transport drives cluster.Transport over the peer mesh. The engine calls
+// it from a single goroutine; per-peer reader and writer goroutines feed
+// and drain the sockets.
+type transport struct {
+	rank, p int
+	epoch   int
+	start   time.Time
+	peers   []*peerConn // nil at own index
+	inbox   chan cluster.Message
+	pending []cluster.Message
+	commSec float64
+	inj     *faults.Injector
+	procs   int
+
+	hbTimeout time.Duration
+
+	// timers tracks outstanding injector-delayed sends so close can stop
+	// them instead of leaking AfterFunc callbacks past the run.
+	timersMu sync.Mutex
+	timers   []*time.Timer
+	closed   bool
+
+	msgsSent, msgsRecvd, bytesSent int
+	drops                          int // sends the injector suppressed
+
+	obsMsgsSent  *obs.Counter
+	obsBytesSent *obs.Counter
+}
+
+var _ cluster.Transport = (*transport)(nil)
+
+func (t *transport) ID() int      { return t.rank }
+func (t *transport) P() int       { return t.p }
+func (t *transport) Now() float64 { return time.Since(t.start).Seconds() }
+
+// Compute is a no-op: wall-clock substrate, the app's real CPU time is the
+// cost.
+func (t *transport) Compute(float64, cluster.Phase) {}
+
+func (t *transport) Send(dst, tag, iter int, data []float64) {
+	payload := make([]float64, len(data))
+	copy(payload, data)
+	t.SendShared(dst, tag, iter, payload)
+}
+
+// SendShared enqueues the message with its payload aliased: serialization
+// in the writer goroutine is the copy, under the engine's guarantee that a
+// shared payload is never mutated after the send.
+func (t *transport) SendShared(dst, tag, iter int, data []float64) {
+	if dst < 0 || dst >= t.p {
+		panic(fmt.Sprintf("distnet: Send to invalid processor %d", dst))
+	}
+	m := cluster.Message{Src: t.rank, Dst: dst, Tag: tag, Iter: iter, Epoch: t.epoch, Data: data, SentAt: t.Now()}
+	bytes := 8*len(data) + 64 // logical accounting parity with the simulator's default framing
+	t.msgsSent++
+	t.bytesSent += bytes
+	t.obsMsgsSent.Inc()
+	t.obsBytesSent.Add(float64(bytes))
+	pc := t.peers[dst]
+	if t.inj == nil {
+		pc.send(Frame{Type: FrameData, Msg: m})
+		return
+	}
+	plan := t.inj.Plan(t.rank, dst, bytes, t.procs, m.SentAt)
+	if len(plan) == 0 {
+		t.drops++
+		return
+	}
+	for _, d := range plan {
+		if d <= 0 {
+			pc.send(Frame{Type: FrameData, Msg: m})
+			continue
+		}
+		t.holdBack(pc, Frame{Type: FrameData, Msg: m}, d)
+	}
+}
+
+// holdBack schedules a delayed transmission of one planned copy.
+func (t *transport) holdBack(pc *peerConn, f Frame, delaySec float64) {
+	t.timersMu.Lock()
+	defer t.timersMu.Unlock()
+	if t.closed {
+		return
+	}
+	t.timers = append(t.timers, time.AfterFunc(
+		time.Duration(delaySec*float64(time.Second)),
+		func() { pc.send(f) },
+	))
+}
+
+func (t *transport) takePending(src, tag int) (cluster.Message, bool) {
+	for i, m := range t.pending {
+		if matches(m, src, tag) {
+			t.pending = append(t.pending[:i], t.pending[i+1:]...)
+			t.msgsRecvd++
+			return m, true
+		}
+	}
+	return cluster.Message{}, false
+}
+
+func matches(m cluster.Message, src, tag int) bool {
+	return (src == cluster.Any || m.Src == src) && (tag == cluster.Any || m.Tag == tag)
+}
+
+func (t *transport) TryRecv(src, tag int) (cluster.Message, bool) {
+	if m, ok := t.takePending(src, tag); ok {
+		return m, true
+	}
+	for {
+		select {
+		case m := <-t.inbox:
+			m.DeliveredAt = t.Now()
+			if matches(m, src, tag) {
+				t.msgsRecvd++
+				return m, true
+			}
+			t.pending = append(t.pending, m)
+		default:
+			return cluster.Message{}, false
+		}
+	}
+}
+
+func (t *transport) Recv(src, tag int) cluster.Message {
+	if m, ok := t.takePending(src, tag); ok {
+		return m
+	}
+	before := time.Now()
+	defer func() { t.commSec += time.Since(before).Seconds() }()
+	for {
+		m := <-t.inbox
+		m.DeliveredAt = t.Now()
+		if matches(m, src, tag) {
+			t.msgsRecvd++
+			return m
+		}
+		t.pending = append(t.pending, m)
+	}
+}
+
+func (t *transport) RecvDeadline(src, tag int, timeout float64) (cluster.Message, bool) {
+	if m, ok := t.takePending(src, tag); ok {
+		return m, true
+	}
+	before := time.Now()
+	defer func() { t.commSec += time.Since(before).Seconds() }()
+	deadline := before.Add(time.Duration(timeout * float64(time.Second)))
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return cluster.Message{}, false
+		}
+		timer := time.NewTimer(remaining)
+		select {
+		case m := <-t.inbox:
+			timer.Stop()
+			m.DeliveredAt = t.Now()
+			if matches(m, src, tag) {
+				t.msgsRecvd++
+				return m, true
+			}
+			t.pending = append(t.pending, m)
+		case <-timer.C:
+			return cluster.Message{}, false
+		}
+	}
+}
+
+func (t *transport) PhaseTime(ph cluster.Phase) float64 {
+	if ph == cluster.PhaseComm {
+		return t.commSec
+	}
+	return 0
+}
+
+// PeerDown implements core.FailureDetector over heartbeat staleness: a peer
+// whose link errored out, or that has been silent past HeartbeatTimeout, is
+// reported down — feeding the engine's crash-bridging machinery exactly as
+// the simulator's perfect detector does, with the usual real-network caveat
+// that silence is a suspicion, not a proof.
+func (t *transport) PeerDown(peer int) bool {
+	if peer < 0 || peer >= t.p || peer == t.rank {
+		return false
+	}
+	return !t.peers[peer].alive(t.hbTimeout)
+}
+
+// Epoch implements core.Epocher: the process incarnation stamped on
+// messages and checkpoints.
+func (t *transport) Epoch() int { return t.epoch }
+
+// NetStats implements core.NetStatser.
+func (t *transport) NetStats() cluster.NetStats {
+	return cluster.NetStats{
+		MsgsSent:  t.msgsSent,
+		MsgsRecvd: t.msgsRecvd,
+		BytesSent: t.bytesSent,
+	}
+}
+
+// reader pumps one peer link into the shared inbox until the link dies.
+func (t *transport) reader(pc *peerConn) {
+	br := bufio.NewReaderSize(pc.conn, 64<<10)
+	for {
+		f, err := readFrame(br)
+		if err != nil {
+			pc.down.Store(true)
+			return
+		}
+		pc.touch()
+		switch f.Type {
+		case FrameData:
+			select {
+			case t.inbox <- f.Msg:
+			case <-pc.stop:
+				return
+			}
+		case FrameHeartbeat:
+			// touch above is the whole point
+		case FrameShutdown:
+			pc.down.Store(true)
+			return
+		default:
+			// Unknown control on a peer link: tolerate (forward compat).
+		}
+	}
+}
+
+// close tears down every peer link and cancels injector-held sends.
+func (t *transport) close() {
+	t.timersMu.Lock()
+	t.closed = true
+	timers := t.timers
+	t.timers = nil
+	t.timersMu.Unlock()
+	for _, tm := range timers {
+		tm.Stop()
+	}
+	for _, pc := range t.peers {
+		if pc != nil {
+			pc.close()
+		}
+	}
+}
+
+// coordStore adapts the coordinator connection to checkpoint.Store: Save
+// ships snapshots into coordinator custody; Load returns the snapshot the
+// coordinator handed back in the config frame (the restore path for a
+// relaunched node).
+type coordStore struct {
+	rank    int
+	coord   *peerConn
+	initial []byte
+}
+
+func (s *coordStore) Save(proc int, blob []byte) {
+	cp := append([]byte(nil), blob...)
+	s.coord.send(Frame{Type: FrameCheckpoint, Rank: proc, Blob: cp})
+}
+
+func (s *coordStore) Load(proc int) ([]byte, bool) {
+	if proc != s.rank || len(s.initial) == 0 {
+		return nil, false
+	}
+	return s.initial, true
+}
+
+// RunNode joins the coordinator at cfg.Coord, participates in one full run,
+// and returns this process's outcome. It blocks until the coordinator
+// releases the shutdown (so no node tears its links down while a slower
+// peer still needs them).
+func RunNode(cfg NodeConfig) (*NodeResult, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+
+	// Listen for peers first: the listen address travels in the hello.
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("distnet: peer listener: %w", err)
+	}
+	defer ln.Close()
+
+	// Join the coordinator.
+	coordRaw, err := dialRetry(cfg.Coord, cfg.DialTimeout, cfg.Logf)
+	if err != nil {
+		return nil, err
+	}
+	coord := newPeerConn(-1, coordRaw, 64)
+	defer coord.close()
+	coord.send(Frame{Type: FrameHello, Rank: -1, Epoch: cfg.Epoch, Addr: ln.Addr().String()})
+
+	// The config frame assigns our rank and carries the membership + spec.
+	cf, err := readConfig(coordRaw, cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	var wc wireConfig
+	if err := json.Unmarshal(cf.Blob, &wc); err != nil {
+		return nil, fmt.Errorf("distnet: decoding config: %w", err)
+	}
+	spec := wc.Spec
+	rank, p := wc.Rank, spec.Procs
+	if rank < 0 || rank >= p || len(wc.Peers) != p {
+		return nil, fmt.Errorf("distnet: inconsistent config (rank %d of %d, %d peers)", rank, p, len(wc.Peers))
+	}
+	cfg.logf("rank %d/%d assigned, peers %v", rank, p, wc.Peers)
+
+	// Build the transport around the mesh.
+	outCap := 2*spec.MaxIter + 64
+	tr := &transport{
+		rank: rank, p: p, epoch: cfg.Epoch,
+		peers:     make([]*peerConn, p),
+		inbox:     make(chan cluster.Message, p*(spec.MaxIter+16)),
+		inj:       faults.NewInjector(cfg.Faults, cfg.FaultSeed),
+		procs:     p,
+		hbTimeout: cfg.HeartbeatTimeout,
+	}
+	if err := tr.connectMesh(ln, wc.Peers, cfg, outCap); err != nil {
+		tr.close()
+		return nil, err
+	}
+	_ = ln.Close() // mesh complete; no further inbound connections
+	for _, pc := range tr.peers {
+		if pc == nil {
+			continue
+		}
+		go tr.reader(pc)
+		go pc.heartbeater(cfg.HeartbeatEvery)
+	}
+
+	// Control-plane reader for the coordinator link.
+	barrierCh := make(chan int, 8)
+	shutdownCh := make(chan struct{})
+	go func() {
+		br := bufio.NewReader(coordRaw)
+		for {
+			f, err := readFrame(br)
+			if err != nil {
+				coord.down.Store(true)
+				close(shutdownCh) // a dead coordinator ends the run
+				return
+			}
+			coord.touch()
+			switch f.Type {
+			case FrameBarrier:
+				barrierCh <- f.Seq
+			case FrameShutdown:
+				close(shutdownCh)
+				return
+			}
+		}
+	}()
+
+	// Observability: per-node metrics registry + run journal, optionally
+	// served live — the same artifacts a simulated run emits.
+	reg := obs.NewRegistry()
+	journal := obs.NewJournal()
+	core.RegisterEngineMetrics(reg, rank)
+	lp := obs.L("proc", strconv.Itoa(rank))
+	tr.obsMsgsSent = reg.Counter(cluster.MetricMsgsSent, "logical messages passed to Send", lp)
+	tr.obsBytesSent = reg.Counter(cluster.MetricBytesSent, "payload+header bytes of logical sends", lp)
+	httpAddr := ""
+	if cfg.HTTPAddr != "" {
+		srv, err := realtime.ServeObs(cfg.HTTPAddr, reg, journal)
+		if err != nil {
+			tr.close()
+			return nil, fmt.Errorf("distnet: obs endpoint: %w", err)
+		}
+		defer srv.Close()
+		httpAddr = srv.Addr()
+		cfg.logf("rank %d serving /metrics and /journal on http://%s", rank, httpAddr)
+	}
+
+	// Start barrier: every node reports its mesh up; the coordinator
+	// releases them together so no engine races ahead of a half-built mesh.
+	coord.send(Frame{Type: FrameBarrier, Seq: 0})
+	select {
+	case <-barrierCh:
+	case <-shutdownCh:
+		tr.close()
+		return nil, fmt.Errorf("distnet: coordinator went away before the start barrier")
+	case <-time.After(cfg.DialTimeout + 30*time.Second):
+		tr.close()
+		return nil, fmt.Errorf("distnet: start barrier timed out")
+	}
+
+	app, err := BuildApp(spec, rank)
+	if err != nil {
+		tr.close()
+		return nil, err
+	}
+	var store checkpoint.Store
+	if spec.CheckpointEvery > 0 {
+		store = &coordStore{rank: rank, coord: coord, initial: wc.Checkpoint}
+	}
+	ecfg := spec.CoreConfig(reg, journal, store)
+
+	tr.start = time.Now()
+	res, runErr := core.Run(tr, app, ecfg)
+	wall := time.Since(tr.start)
+	if runErr != nil {
+		tr.close()
+		return nil, fmt.Errorf("distnet: rank %d engine: %w", rank, runErr)
+	}
+
+	// Report the outcome, then hold the mesh open until the coordinator
+	// confirms every node is done.
+	coord.send(Frame{Type: FrameResult, Blob: encodeJSON(resultMsg{
+		Rank: rank, HTTP: httpAddr,
+		Converged: res.Converged, Iters: res.Stats.Iters,
+		SpecsMade: res.Stats.SpecsMade, SpecsBad: res.Stats.SpecsBad,
+		Repairs: res.Stats.Repairs, Overruns: res.Stats.Overruns,
+		WallSec: wall.Seconds(), CommSec: res.Stats.CommTime,
+		MsgsSent: res.Stats.Net.MsgsSent, BytesSent: res.Stats.Net.BytesSent,
+		Final: res.Final,
+	})})
+	select {
+	case <-shutdownCh:
+	case <-time.After(60 * time.Second):
+		cfg.logf("rank %d: shutdown wait timed out, tearing down anyway", rank)
+	}
+	tr.close()
+	return &NodeResult{Rank: rank, HTTPAddr: httpAddr, Result: res, Wall: wall}, nil
+}
+
+// readConfig reads the coordinator's config frame with a deadline.
+func readConfig(conn net.Conn, timeout time.Duration) (Frame, error) {
+	if timeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(timeout))
+		defer conn.SetReadDeadline(time.Time{})
+	}
+	f, err := readFrame(conn)
+	if err != nil {
+		return Frame{}, fmt.Errorf("distnet: reading config: %w", err)
+	}
+	if f.Type != FrameConfig {
+		return Frame{}, fmt.Errorf("distnet: expected config, got %v frame", f.Type)
+	}
+	return f, nil
+}
+
+// connectMesh establishes one TCP link per peer pair: this node dials every
+// lower rank (which is already listening) and accepts one connection from
+// every higher rank, each link opening with a hello frame.
+func (t *transport) connectMesh(ln net.Listener, peers []string, cfg NodeConfig, outCap int) error {
+	rank, p := t.rank, t.p
+
+	type dialed struct {
+		rank int
+		conn net.Conn
+		err  error
+	}
+	ch := make(chan dialed, p)
+	for j := 0; j < rank; j++ {
+		j := j
+		go func() {
+			conn, err := dialRetry(peers[j], cfg.DialTimeout, cfg.Logf)
+			if err == nil {
+				var scratch []byte
+				hello := Frame{Type: FrameHello, Rank: rank, Epoch: t.epoch, Addr: peers[rank]}
+				if _, werr := writeFrame(conn, scratch, &hello); werr != nil {
+					conn.Close()
+					err = fmt.Errorf("distnet: hello to rank %d: %w", j, werr)
+				}
+			}
+			ch <- dialed{rank: j, conn: conn, err: err}
+		}()
+	}
+
+	// Accept the higher ranks while the dials run.
+	acceptErr := make(chan error, 1)
+	go func() {
+		for need := p - 1 - rank; need > 0; need-- {
+			_ = setAcceptDeadline(ln, time.Now().Add(cfg.DialTimeout+30*time.Second))
+			conn, err := ln.Accept()
+			if err != nil {
+				acceptErr <- fmt.Errorf("distnet: accepting peer: %w", err)
+				return
+			}
+			hello, err := readHello(conn, cfg.DialTimeout)
+			if err != nil {
+				conn.Close()
+				acceptErr <- err
+				return
+			}
+			if hello.Rank <= rank || hello.Rank >= p {
+				conn.Close()
+				acceptErr <- fmt.Errorf("distnet: unexpected hello from rank %d", hello.Rank)
+				return
+			}
+			if t.peers[hello.Rank] != nil {
+				conn.Close()
+				acceptErr <- fmt.Errorf("distnet: duplicate connection from rank %d", hello.Rank)
+				return
+			}
+			t.peers[hello.Rank] = newPeerConn(hello.Rank, conn, outCap)
+		}
+		acceptErr <- nil
+	}()
+
+	var firstErr error
+	for j := 0; j < rank; j++ {
+		d := <-ch
+		if d.err != nil {
+			if firstErr == nil {
+				firstErr = d.err
+			}
+			continue
+		}
+		t.peers[d.rank] = newPeerConn(d.rank, d.conn, outCap)
+	}
+	if err := <-acceptErr; err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// setAcceptDeadline applies a deadline when the listener supports it.
+func setAcceptDeadline(ln net.Listener, t time.Time) error {
+	if tl, ok := ln.(*net.TCPListener); ok {
+		return tl.SetDeadline(t)
+	}
+	return nil
+}

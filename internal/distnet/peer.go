@@ -1,0 +1,211 @@
+package distnet
+
+// Per-peer TCP connection management: dialing with retry and exponential
+// backoff, a buffered writer goroutine per link, heartbeats, and dead-peer
+// detection. One TCP connection serves each unordered pair of processors
+// (the lower rank accepts, the higher rank dials); both directions flow on
+// it.
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// Connection-state machine of one peer link:
+//
+//	dialing ──dial ok──▶ handshaking ──hello──▶ up ──read error/close──▶ down
+//	   │  ▲                                     │
+//	   └──┘ retry with exponential backoff      └─ heartbeat staleness ⇒ suspected
+//
+// "suspected" is soft: PeerDown reports it to the engine's failure
+// detector, but the link keeps trying until a hard read/write error lands.
+
+// dialRetry dials addr until it succeeds or total elapses, backing off
+// exponentially from 25 ms to 1 s between attempts. It tolerates the target
+// not listening yet — nodes of a run start in arbitrary order.
+func dialRetry(addr string, total time.Duration, logf func(string, ...any)) (net.Conn, error) {
+	deadline := time.Now().Add(total)
+	backoff := 25 * time.Millisecond
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, fmt.Errorf("distnet: dialing %s: %w", addr, lastErr)
+		}
+		c, err := net.DialTimeout("tcp", addr, remain)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		if attempt == 0 && logf != nil {
+			logf("dial %s failed (%v), retrying with backoff", addr, err)
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > time.Second {
+			backoff = time.Second
+		}
+	}
+}
+
+// peerConn is one live link to a peer (or to the coordinator, rank -1).
+type peerConn struct {
+	rank int
+	conn net.Conn
+
+	// out feeds the writer goroutine. Data frames block when full (TCP
+	// backpressure, propagated to the engine); heartbeats are dropped
+	// instead — a congested link is proving liveness already.
+	out  chan Frame
+	stop chan struct{} // closed once, tears the writer down
+	done chan struct{} // closed by the writer on exit
+
+	// lastSeen is the unix-nano receive time of the most recent frame,
+	// maintained by the owner's reader; it feeds heartbeat-staleness
+	// detection.
+	lastSeen atomic.Int64
+	// down latches on a hard read/write error or remote close.
+	down atomic.Bool
+}
+
+func newPeerConn(rank int, conn net.Conn, outCap int) *peerConn {
+	pc := &peerConn{
+		rank: rank,
+		conn: conn,
+		out:  make(chan Frame, outCap),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	pc.lastSeen.Store(time.Now().UnixNano())
+	go pc.writer()
+	return pc
+}
+
+// send enqueues a frame for transmission, blocking when the link is
+// congested. Frames to a link already torn down are dropped — exactly what
+// a crashed workstation does with packets addressed to it.
+func (pc *peerConn) send(f Frame) {
+	if pc.down.Load() {
+		return
+	}
+	select {
+	case pc.out <- f:
+	case <-pc.stop:
+	}
+}
+
+// sendHeartbeat is send with drop-on-congestion semantics.
+func (pc *peerConn) sendHeartbeat() {
+	if pc.down.Load() {
+		return
+	}
+	select {
+	case pc.out <- Frame{Type: FrameHeartbeat}:
+	default:
+	}
+}
+
+// writer drains the outgoing queue through one bufio.Writer, flushing
+// whenever the queue momentarily empties (message boundaries coalesce under
+// load, but nothing lingers unflushed).
+func (pc *peerConn) writer() {
+	defer close(pc.done)
+	bw := bufio.NewWriterSize(pc.conn, 64<<10)
+	var scratch []byte
+	var err error
+	for {
+		select {
+		case f := <-pc.out:
+			scratch, err = writeFrame(bw, scratch, &f)
+			if err == nil && len(pc.out) == 0 {
+				err = bw.Flush()
+			}
+			if err != nil {
+				pc.down.Store(true)
+				return
+			}
+		case <-pc.stop:
+			// Drain anything enqueued before the close, then flush.
+			for {
+				select {
+				case f := <-pc.out:
+					if scratch, err = writeFrame(bw, scratch, &f); err != nil {
+						pc.down.Store(true)
+						return
+					}
+				default:
+					_ = bw.Flush()
+					return
+				}
+			}
+		}
+	}
+}
+
+// close tears the link down: stops the writer (draining queued frames
+// first) and closes the socket. A short write deadline unblocks a writer
+// stuck flushing into a dead peer's full TCP window.
+func (pc *peerConn) close() {
+	_ = pc.conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	select {
+	case <-pc.stop:
+	default:
+		close(pc.stop)
+	}
+	<-pc.done
+	_ = pc.conn.Close()
+}
+
+// alive reports whether the link looks healthy: no hard error, and a frame
+// seen within timeout (0 disables the staleness check).
+func (pc *peerConn) alive(timeout time.Duration) bool {
+	if pc.down.Load() {
+		return false
+	}
+	if timeout <= 0 {
+		return true
+	}
+	return time.Since(time.Unix(0, pc.lastSeen.Load())) <= timeout
+}
+
+// touch records frame receipt for staleness detection.
+func (pc *peerConn) touch() { pc.lastSeen.Store(time.Now().UnixNano()) }
+
+// heartbeater emits liveness beacons every interval until stop closes.
+// Receiving any frame counts as liveness, so data-heavy links never pay for
+// extra beacons (the queue-full drop in sendHeartbeat).
+func (pc *peerConn) heartbeater(interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			pc.sendHeartbeat()
+		case <-pc.stop:
+			return
+		}
+	}
+}
+
+// readHello performs the receiving half of the link handshake with a
+// deadline, returning the peer's hello frame.
+func readHello(conn net.Conn, timeout time.Duration) (Frame, error) {
+	if timeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(timeout))
+		defer conn.SetReadDeadline(time.Time{})
+	}
+	f, err := readFrame(conn)
+	if err != nil {
+		return Frame{}, fmt.Errorf("distnet: reading hello: %w", err)
+	}
+	if f.Type != FrameHello {
+		return Frame{}, fmt.Errorf("distnet: expected hello, got %v frame", f.Type)
+	}
+	return f, nil
+}

@@ -1,0 +1,190 @@
+package distnet
+
+// RunSpec is the run configuration the coordinator distributes to every
+// node, and the builders that turn it into an application instance and an
+// engine configuration. It is deliberately JSON ("control plane"): humans
+// read and write it, it travels once per run. The data plane (wire.go) is
+// binary.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"specomp/internal/apps/heat"
+	"specomp/internal/apps/jacobi"
+	"specomp/internal/checkpoint"
+	"specomp/internal/core"
+	"specomp/internal/obs"
+	"specomp/internal/partition"
+)
+
+// RunSpec describes one distributed run. The coordinator normalizes it once
+// and every node builds its application and engine configuration from the
+// identical normalized copy, so all processors run behaviourally identical
+// configs (the engine's standing requirement).
+type RunSpec struct {
+	// App selects the application: "heat" (2-D diffusion stencil) or
+	// "jacobi" (dense diagonally dominant linear system).
+	App string `json:"app"`
+	// Procs is the number of node processes.
+	Procs int `json:"procs"`
+	// MaxIter bounds the iteration count.
+	MaxIter int `json:"max_iter"`
+	// FW and BW are the engine's forward and backward windows.
+	FW int `json:"fw"`
+	BW int `json:"bw,omitempty"`
+	// Theta is the relative-error speculation threshold.
+	Theta float64 `json:"theta"`
+	// Rows, Cols size the heat grid.
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
+	// N sizes the jacobi system.
+	N int `json:"n,omitempty"`
+	// Tol, when positive, enables jacobi's convergence stopper.
+	Tol float64 `json:"tol,omitempty"`
+	// Seed seeds problem generation (jacobi) — every node must agree.
+	Seed int64 `json:"seed"`
+	// Deadline and MaxOverrun forward the engine's graceful-degradation
+	// knobs (wall-clock seconds on this substrate).
+	Deadline   float64 `json:"deadline,omitempty"`
+	MaxOverrun int     `json:"max_overrun,omitempty"`
+	// CheckpointEvery, when positive, snapshots engine state every K
+	// iterations; blobs are shipped to the coordinator for custody.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// HoldSends forwards the speculative-send ablation switch.
+	HoldSends bool `json:"hold_sends,omitempty"`
+}
+
+// Normalize fills defaults and validates; the coordinator calls it once
+// before distributing the spec.
+func (s *RunSpec) Normalize() error {
+	if s.App == "" {
+		s.App = "heat"
+	}
+	if s.Procs <= 0 {
+		s.Procs = 4
+	}
+	if s.MaxIter <= 0 {
+		s.MaxIter = 200
+	}
+	if s.FW < 0 {
+		return fmt.Errorf("distnet: negative FW")
+	}
+	if s.Theta <= 0 {
+		s.Theta = 1e-3
+	}
+	switch s.App {
+	case "heat":
+		if s.Rows <= 0 {
+			s.Rows = 48
+		}
+		if s.Cols <= 0 {
+			s.Cols = 32
+		}
+		if s.Rows < s.Procs {
+			return fmt.Errorf("distnet: heat grid of %d rows cannot be split over %d processors", s.Rows, s.Procs)
+		}
+	case "jacobi":
+		if s.N <= 0 {
+			s.N = 64
+		}
+		if s.N < s.Procs {
+			return fmt.Errorf("distnet: jacobi system of %d variables cannot be split over %d processors", s.N, s.Procs)
+		}
+	default:
+		return fmt.Errorf("distnet: unknown app %q (want heat or jacobi)", s.App)
+	}
+	return nil
+}
+
+// Blocks returns the per-processor variable ranges of the spec's uniform
+// decomposition (processes are assumed homogeneous; capacity-weighted
+// partitioning stays a simulator concern).
+func (s RunSpec) Blocks() [][2]int {
+	n := s.Rows
+	if s.App == "jacobi" {
+		n = s.N
+	}
+	caps := make([]float64, s.Procs)
+	for i := range caps {
+		caps[i] = 1
+	}
+	counts := partition.Proportional(n, caps)
+	blocks := make([][2]int, s.Procs)
+	lo := 0
+	for i, c := range counts {
+		blocks[i] = [2]int{lo, lo + c}
+		lo += c
+	}
+	return blocks
+}
+
+// BuildApp constructs rank's application instance. Problem generation is
+// seeded from the spec, so every node derives the identical global problem.
+func BuildApp(s RunSpec, rank int) (core.App, error) {
+	if rank < 0 || rank >= s.Procs {
+		return nil, fmt.Errorf("distnet: rank %d outside [0, %d)", rank, s.Procs)
+	}
+	switch s.App {
+	case "heat":
+		return heat.NewApp(heat.DefaultGrid(s.Rows, s.Cols), s.Blocks(), rank, s.Theta), nil
+	case "jacobi":
+		prob := jacobi.NewDiagonallyDominant(s.N, s.Seed)
+		app := jacobi.NewApp(prob, s.Blocks(), rank, s.Theta)
+		app.Tol = s.Tol
+		return app, nil
+	}
+	return nil, fmt.Errorf("distnet: unknown app %q", s.App)
+}
+
+// CoreConfig derives the engine configuration every node runs with.
+func (s RunSpec) CoreConfig(metrics *obs.Registry, journal *obs.Journal, store checkpoint.Store) core.Config {
+	cfg := core.Config{
+		FW: s.FW, BW: s.BW, MaxIter: s.MaxIter,
+		HoldSends: s.HoldSends,
+		Deadline:  s.Deadline, MaxOverrun: s.MaxOverrun,
+		Metrics: metrics, Journal: journal,
+	}
+	if s.CheckpointEvery > 0 && store != nil {
+		cfg.CheckpointEvery = s.CheckpointEvery
+		cfg.CheckpointStore = store
+	}
+	return cfg
+}
+
+// wireConfig is the body of a FrameConfig: everything one node needs to
+// join the mesh and run.
+type wireConfig struct {
+	Rank  int      `json:"rank"`
+	Peers []string `json:"peers"` // listen address of every rank, index-aligned
+	Spec  RunSpec  `json:"spec"`
+	// Checkpoint is the node's latest snapshot in coordinator custody (nil
+	// on a fresh run); a relaunched node restores and rejoins from it.
+	Checkpoint []byte `json:"checkpoint,omitempty"`
+}
+
+// resultMsg is the body of a FrameResult.
+type resultMsg struct {
+	Rank      int       `json:"rank"`
+	HTTP      string    `json:"http,omitempty"` // node's live obs endpoint, if served
+	Converged bool      `json:"converged"`
+	Iters     int       `json:"iters"`
+	SpecsMade int       `json:"specs_made"`
+	SpecsBad  int       `json:"specs_bad"`
+	Repairs   int       `json:"repairs"`
+	Overruns  int       `json:"overruns"`
+	WallSec   float64   `json:"wall_sec"`
+	CommSec   float64   `json:"comm_sec"`
+	MsgsSent  int       `json:"msgs_sent"`
+	BytesSent int       `json:"bytes_sent"`
+	Final     []float64 `json:"final"`
+}
+
+func encodeJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// All wire structs are plain data; a marshal failure is a bug.
+		panic(fmt.Sprintf("distnet: encoding %T: %v", v, err))
+	}
+	return b
+}

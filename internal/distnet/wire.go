@@ -1,0 +1,328 @@
+// Package distnet runs the speculation engine across real OS processes over
+// TCP — the substrate the paper actually measured on (16 workstations under
+// PVM on shared Ethernet), rebuilt on modern sockets.
+//
+// The package has three layers:
+//
+//   - a length-prefixed, CRC-checked binary wire codec for cluster.Message
+//     plus the control frames of the runtime protocol (wire.go);
+//   - per-peer TCP connection management — dial retry with exponential
+//     backoff, buffered writers, heartbeats and dead-peer detection
+//     (peer.go);
+//   - a coordinator handling membership, rank assignment, run configuration,
+//     barriers, checkpoint custody and result collection (coord.go), and a
+//     node runtime driving the unchanged internal/core engine through the
+//     cluster.Transport contract (node.go).
+//
+// A run is one coordinator process plus P node processes (cmd/speccoord and
+// cmd/specnode); nodes may equally run in-process for tests. Observability
+// (internal/obs metrics + journal, served per node over HTTP) and
+// checkpointing (internal/checkpoint, snapshots held at the coordinator)
+// ride through unchanged from the simulated substrate.
+package distnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"specomp/internal/cluster"
+)
+
+// FrameType tags the kind of a wire frame.
+type FrameType uint8
+
+// Wire frame types. FrameData carries a cluster.Message between peers; the
+// rest are control frames of the coordinator/mesh protocol.
+const (
+	FrameData       FrameType = 1 + iota // peer → peer: one cluster.Message
+	FrameHello                           // both directions: identity (rank, epoch, listen addr)
+	FrameConfig                          // coord → node: rank, membership, run spec (JSON blob)
+	FrameHeartbeat                       // peer → peer: liveness beacon
+	FrameBarrier                         // node → coord: arrival; coord → node: release
+	FrameCheckpoint                      // node → coord: snapshot custody (proc, blob)
+	FrameResult                          // node → coord: run outcome (JSON blob)
+	FrameShutdown                        // coord → node: run over, tear down
+	frameTypeEnd
+)
+
+// String returns the frame-type name.
+func (t FrameType) String() string {
+	switch t {
+	case FrameData:
+		return "data"
+	case FrameHello:
+		return "hello"
+	case FrameConfig:
+		return "config"
+	case FrameHeartbeat:
+		return "heartbeat"
+	case FrameBarrier:
+		return "barrier"
+	case FrameCheckpoint:
+		return "checkpoint"
+	case FrameResult:
+		return "result"
+	case FrameShutdown:
+		return "shutdown"
+	}
+	return fmt.Sprintf("frame(%d)", uint8(t))
+}
+
+// MaxFrame bounds one frame's encoded payload. Larger frames are refused on
+// both encode and decode — the decoder never allocates more than this on
+// behalf of the wire.
+const MaxFrame = 16 << 20
+
+// nilData marks a nil message payload on the wire, preserving the nil/empty
+// distinction the in-process transports keep (the engine's barrier and
+// rejoin frames carry nil payloads).
+const nilData = ^uint32(0)
+
+// Frame is one unit on the wire. Which fields are meaningful depends on
+// Type; unused fields must be zero.
+type Frame struct {
+	Type FrameType
+	// Msg is the payload of a FrameData frame.
+	Msg cluster.Message
+	// Rank identifies the sender in a FrameHello (-1 before the coordinator
+	// assigned one) and the owning processor in a FrameCheckpoint.
+	Rank int
+	// Epoch is the sender's incarnation epoch in a FrameHello.
+	Epoch int
+	// Addr is the sender's peer listen address in a FrameHello.
+	Addr string
+	// Seq is the barrier identifier in a FrameBarrier.
+	Seq int
+	// Blob carries the JSON body of FrameConfig/FrameResult and the
+	// checkpoint snapshot of FrameCheckpoint.
+	Blob []byte
+}
+
+// Wire layout: a frame is
+//
+//	[u32 n] [payload: n bytes] [u32 crc32-IEEE(payload)]
+//
+// with payload = [u8 type][type-specific body], all integers big-endian.
+// Body layouts (i64 = two's-complement int64, f64 = IEEE-754 bits):
+//
+//	data       i64 src, dst, tag, iter, epoch · f64 sentAt · u32 n|nil · n×f64
+//	hello      i64 rank, epoch · u32 len · addr bytes
+//	config     u32 len · blob
+//	heartbeat  (empty)
+//	barrier    i64 seq
+//	checkpoint i64 proc · u32 len · blob
+//	result     u32 len · blob
+//	shutdown   (empty)
+
+// appendPayload encodes f's payload (type byte + body) onto dst.
+func appendPayload(dst []byte, f *Frame) ([]byte, error) {
+	dst = append(dst, byte(f.Type))
+	putI64 := func(v int64) {
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], uint64(v))
+		dst = append(dst, b[:]...)
+	}
+	putU32 := func(v uint32) {
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], v)
+		dst = append(dst, b[:]...)
+	}
+	switch f.Type {
+	case FrameData:
+		m := &f.Msg
+		putI64(int64(m.Src))
+		putI64(int64(m.Dst))
+		putI64(int64(m.Tag))
+		putI64(int64(m.Iter))
+		putI64(int64(m.Epoch))
+		putI64(int64(math.Float64bits(m.SentAt)))
+		if m.Data == nil {
+			putU32(nilData)
+		} else {
+			putU32(uint32(len(m.Data)))
+			for _, v := range m.Data {
+				putI64(int64(math.Float64bits(v)))
+			}
+		}
+	case FrameHello:
+		putI64(int64(f.Rank))
+		putI64(int64(f.Epoch))
+		putU32(uint32(len(f.Addr)))
+		dst = append(dst, f.Addr...)
+	case FrameConfig, FrameResult:
+		putU32(uint32(len(f.Blob)))
+		dst = append(dst, f.Blob...)
+	case FrameCheckpoint:
+		putI64(int64(f.Rank))
+		putU32(uint32(len(f.Blob)))
+		dst = append(dst, f.Blob...)
+	case FrameBarrier:
+		putI64(int64(f.Seq))
+	case FrameHeartbeat, FrameShutdown:
+		// No body.
+	default:
+		return nil, fmt.Errorf("distnet: encoding unknown frame type %d", f.Type)
+	}
+	return dst, nil
+}
+
+// writeFrame encodes f and writes it to w. scratch is an optional reusable
+// buffer; the (possibly grown) buffer is returned for the next call.
+func writeFrame(w io.Writer, scratch []byte, f *Frame) ([]byte, error) {
+	// Reserve the length prefix, encode the payload in place, then patch
+	// length and append the checksum.
+	buf := append(scratch[:0], 0, 0, 0, 0)
+	buf, err := appendPayload(buf, f)
+	if err != nil {
+		return scratch, err
+	}
+	payload := buf[4:]
+	if len(payload) > MaxFrame {
+		return buf, fmt.Errorf("distnet: %v frame payload %d bytes exceeds MaxFrame", f.Type, len(payload))
+	}
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(payload)))
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	buf = append(buf, crc[:]...)
+	_, err = w.Write(buf)
+	return buf, err
+}
+
+// readFrame reads and decodes one frame from r. Truncated, corrupt (CRC
+// mismatch), oversized or malformed frames return an error; the decoder
+// never panics and never allocates more than the wire actually carries
+// (bounded by MaxFrame).
+func readFrame(r io.Reader) (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err // io.EOF between frames is the clean-close signal
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return Frame{}, fmt.Errorf("distnet: empty frame")
+	}
+	if n > MaxFrame {
+		return Frame{}, fmt.Errorf("distnet: frame payload %d bytes exceeds MaxFrame", n)
+	}
+	buf := make([]byte, n+4) // payload + trailing CRC
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Frame{}, fmt.Errorf("distnet: truncated frame: %w", noEOF(err))
+	}
+	payload, sum := buf[:n], binary.BigEndian.Uint32(buf[n:])
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return Frame{}, fmt.Errorf("distnet: frame CRC mismatch (got %08x, want %08x)", got, sum)
+	}
+	return decodePayload(payload)
+}
+
+// noEOF maps io.EOF to ErrUnexpectedEOF so a mid-frame cut never looks like
+// a clean close.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// payloadReader cursors over a decoded payload with bounds checking.
+type payloadReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (p *payloadReader) i64() int64 {
+	if p.err != nil {
+		return 0
+	}
+	if p.off+8 > len(p.b) {
+		p.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	v := binary.BigEndian.Uint64(p.b[p.off:])
+	p.off += 8
+	return int64(v)
+}
+
+func (p *payloadReader) u32() uint32 {
+	if p.err != nil {
+		return 0
+	}
+	if p.off+4 > len(p.b) {
+		p.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	v := binary.BigEndian.Uint32(p.b[p.off:])
+	p.off += 4
+	return v
+}
+
+func (p *payloadReader) bytes(n int) []byte {
+	if p.err != nil {
+		return nil
+	}
+	if n < 0 || p.off+n > len(p.b) {
+		p.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	v := p.b[p.off : p.off+n]
+	p.off += n
+	return v
+}
+
+// decodePayload decodes a checksummed payload (type byte + body) into a
+// Frame. Blob and Data fields are copied out of the input buffer.
+func decodePayload(payload []byte) (Frame, error) {
+	if len(payload) == 0 {
+		return Frame{}, fmt.Errorf("distnet: empty frame")
+	}
+	f := Frame{Type: FrameType(payload[0])}
+	p := &payloadReader{b: payload, off: 1}
+	switch f.Type {
+	case FrameData:
+		m := &f.Msg
+		m.Src = int(p.i64())
+		m.Dst = int(p.i64())
+		m.Tag = int(p.i64())
+		m.Iter = int(p.i64())
+		m.Epoch = int(p.i64())
+		m.SentAt = math.Float64frombits(uint64(p.i64()))
+		if n := p.u32(); n != nilData {
+			// A float64 is 8 wire bytes: the count can never exceed the
+			// remaining payload, so a lying header is caught before any
+			// allocation proportional to it.
+			raw := p.bytes(int(n) * 8)
+			if p.err == nil {
+				m.Data = make([]float64, n)
+				for i := range m.Data {
+					m.Data[i] = math.Float64frombits(binary.BigEndian.Uint64(raw[8*i:]))
+				}
+			}
+		}
+	case FrameHello:
+		f.Rank = int(p.i64())
+		f.Epoch = int(p.i64())
+		f.Addr = string(p.bytes(int(p.u32())))
+	case FrameConfig, FrameResult:
+		f.Blob = append([]byte(nil), p.bytes(int(p.u32()))...)
+	case FrameCheckpoint:
+		f.Rank = int(p.i64())
+		f.Blob = append([]byte(nil), p.bytes(int(p.u32()))...)
+	case FrameBarrier:
+		f.Seq = int(p.i64())
+	case FrameHeartbeat, FrameShutdown:
+		// No body.
+	default:
+		return Frame{}, fmt.Errorf("distnet: unknown frame type %d", payload[0])
+	}
+	if p.err != nil {
+		return Frame{}, fmt.Errorf("distnet: truncated %v frame: %w", f.Type, p.err)
+	}
+	if p.off != len(payload) {
+		return Frame{}, fmt.Errorf("distnet: %d trailing bytes after %v frame", len(payload)-p.off, f.Type)
+	}
+	return f, nil
+}

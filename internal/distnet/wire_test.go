@@ -1,0 +1,220 @@
+package distnet
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"specomp/internal/cluster"
+)
+
+// randFrame builds a random frame of a random type; the property test
+// round-trips it through the codec.
+func randFrame(rng *rand.Rand) Frame {
+	types := []FrameType{
+		FrameData, FrameHello, FrameConfig, FrameHeartbeat,
+		FrameBarrier, FrameCheckpoint, FrameResult, FrameShutdown,
+	}
+	f := Frame{Type: types[rng.Intn(len(types))]}
+	randBlob := func() []byte {
+		b := make([]byte, rng.Intn(256))
+		rng.Read(b)
+		return b
+	}
+	switch f.Type {
+	case FrameData:
+		f.Msg = cluster.Message{
+			Src:    rng.Intn(64) - 1, // cluster.Any = -1 must survive
+			Dst:    rng.Intn(64) - 1,
+			Tag:    rng.Intn(8) - 1,
+			Iter:   rng.Intn(4096) - 2, // negative iters appear in control msgs
+			Epoch:  rng.Intn(8),
+			SentAt: rng.NormFloat64(),
+		}
+		switch rng.Intn(3) {
+		case 0:
+			// nil payload (engine barrier/rejoin-ack messages)
+		case 1:
+			f.Msg.Data = []float64{} // empty-but-non-nil must also survive
+		default:
+			f.Msg.Data = make([]float64, 1+rng.Intn(300))
+			for i := range f.Msg.Data {
+				switch rng.Intn(8) {
+				case 0:
+					f.Msg.Data[i] = math.Inf(1)
+				case 1:
+					f.Msg.Data[i] = 0
+				default:
+					f.Msg.Data[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(40)-20))
+				}
+			}
+		}
+	case FrameHello:
+		f.Rank = rng.Intn(18) - 2 // -1 = unassigned must survive
+		f.Epoch = rng.Intn(5)
+		f.Addr = string(randBlob())
+	case FrameConfig, FrameResult:
+		f.Blob = randBlob()
+	case FrameCheckpoint:
+		f.Rank = rng.Intn(16)
+		f.Blob = randBlob()
+	case FrameBarrier:
+		f.Seq = rng.Intn(100) - 1
+	}
+	return f
+}
+
+// frameEqual compares frames treating nil and empty blobs/data as distinct
+// for Msg.Data (the engine cares) but identical for Blob (it does not).
+func frameEqual(a, b Frame) bool {
+	if len(a.Blob) == 0 && len(b.Blob) == 0 {
+		a.Blob, b.Blob = nil, nil
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+func TestFrameRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var buf bytes.Buffer
+	var scratch []byte
+	for i := 0; i < 2000; i++ {
+		want := randFrame(rng)
+		buf.Reset()
+		var err error
+		scratch, err = writeFrame(&buf, scratch, &want)
+		if err != nil {
+			t.Fatalf("frame %d (%v): write: %v", i, want.Type, err)
+		}
+		got, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d (%v): read: %v", i, want.Type, err)
+		}
+		if !frameEqual(got, want) {
+			t.Fatalf("frame %d: round trip mismatch\n got %+v\nwant %+v", i, got, want)
+		}
+		if buf.Len() != 0 {
+			t.Fatalf("frame %d: %d bytes left over after decode", i, buf.Len())
+		}
+	}
+}
+
+func TestFrameStreamRoundTrip(t *testing.T) {
+	// Many frames back to back through one buffer, as on a real socket.
+	rng := rand.New(rand.NewSource(11))
+	frames := make([]Frame, 200)
+	var buf bytes.Buffer
+	var scratch []byte
+	for i := range frames {
+		frames[i] = randFrame(rng)
+		var err error
+		if scratch, err = writeFrame(&buf, scratch, &frames[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range frames {
+		got, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !frameEqual(got, want) {
+			t.Fatalf("frame %d mismatch", i)
+		}
+	}
+	if _, err := readFrame(&buf); err != io.EOF {
+		t.Fatalf("expected clean EOF after last frame, got %v", err)
+	}
+}
+
+// encodeFrame is a test helper returning one encoded frame.
+func encodeFrame(t *testing.T, f Frame) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := writeFrame(&buf, nil, &f); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReadFrameCorruptAndTruncated(t *testing.T) {
+	msg := Frame{Type: FrameData, Msg: cluster.Message{
+		Src: 1, Dst: 2, Tag: 1, Iter: 40, SentAt: 0.5,
+		Data: []float64{1, 2, 3},
+	}}
+	enc := encodeFrame(t, msg)
+
+	t.Run("every truncation errors", func(t *testing.T) {
+		for n := 1; n < len(enc); n++ {
+			_, err := readFrame(bytes.NewReader(enc[:n]))
+			if err == nil {
+				t.Fatalf("truncation to %d/%d bytes decoded successfully", n, len(enc))
+			}
+			if err == io.EOF && n >= 4 {
+				t.Fatalf("mid-frame truncation to %d bytes reported clean EOF", n)
+			}
+		}
+	})
+	t.Run("every single-byte corruption errors", func(t *testing.T) {
+		// Flipping any payload or CRC byte must fail the checksum; flipping a
+		// length byte must fail length/CRC/truncation checks. Never a panic.
+		for i := range enc {
+			bad := append([]byte(nil), enc...)
+			bad[i] ^= 0x40
+			if _, err := readFrame(bytes.NewReader(bad)); err == nil {
+				t.Fatalf("corrupting byte %d decoded successfully", i)
+			}
+		}
+	})
+	t.Run("oversized length refused before allocation", func(t *testing.T) {
+		hdr := []byte{0xff, 0xff, 0xff, 0xff}
+		_, err := readFrame(bytes.NewReader(hdr))
+		if err == nil || !strings.Contains(err.Error(), "MaxFrame") {
+			t.Fatalf("oversized frame: got %v, want MaxFrame error", err)
+		}
+	})
+	t.Run("lying data count refused", func(t *testing.T) {
+		// A valid CRC over a payload whose float count exceeds its bytes.
+		payload := []byte{byte(FrameData)}
+		for i := 0; i < 6; i++ { // src,dst,tag,iter,epoch,sentAt
+			payload = append(payload, make([]byte, 8)...)
+		}
+		payload = append(payload, 0x7f, 0xff, 0xff, 0xff) // claims ~2G floats
+		bad := frameFor(payload)
+		if _, err := readFrame(bytes.NewReader(bad)); err == nil {
+			t.Fatal("lying data count decoded successfully")
+		}
+	})
+	t.Run("unknown type refused", func(t *testing.T) {
+		bad := frameFor([]byte{0xee})
+		if _, err := readFrame(bytes.NewReader(bad)); err == nil {
+			t.Fatal("unknown frame type decoded successfully")
+		}
+	})
+	t.Run("trailing garbage refused", func(t *testing.T) {
+		bad := frameFor(append([]byte{byte(FrameHeartbeat)}, 0xaa))
+		if _, err := readFrame(bytes.NewReader(bad)); err == nil {
+			t.Fatal("heartbeat with trailing bytes decoded successfully")
+		}
+	})
+	t.Run("oversized encode refused", func(t *testing.T) {
+		huge := Frame{Type: FrameResult, Blob: make([]byte, MaxFrame+1)}
+		var buf bytes.Buffer
+		if _, err := writeFrame(&buf, nil, &huge); err == nil {
+			t.Fatal("oversized frame encoded successfully")
+		}
+	})
+}
+
+func TestFrameTypeString(t *testing.T) {
+	for ft := FrameData; ft < frameTypeEnd; ft++ {
+		if s := ft.String(); strings.HasPrefix(s, "frame(") {
+			t.Errorf("frame type %d has no name", ft)
+		}
+	}
+	if s := FrameType(0xee).String(); s != "frame(238)" {
+		t.Errorf("unknown frame type string = %q", s)
+	}
+}

@@ -1,0 +1,118 @@
+package faults
+
+import (
+	"math/rand"
+	"testing"
+
+	"specomp/internal/netmodel"
+)
+
+// scenario is one seeded sequence of message descriptors, shared by both
+// sides of the parity test.
+func scenario(seed int64, n int) []netmodel.Msg {
+	rng := rand.New(rand.NewSource(seed))
+	msgs := make([]netmodel.Msg, n)
+	now := 0.0
+	for i := range msgs {
+		now += rng.Float64() * 0.05
+		msgs[i] = netmodel.Msg{
+			Src:   rng.Intn(4),
+			Dst:   rng.Intn(4),
+			Bytes: 64 + rng.Intn(4096),
+			Procs: 4,
+			Now:   now,
+		}
+	}
+	return msgs
+}
+
+// faultStack is the model under test: loss + duplication + delay spikes +
+// a partition window, over a bandwidth base — every injector family the
+// distnet send path has to reproduce.
+func faultStack() netmodel.Model {
+	return Drop{
+		Prob: 0.15,
+		Inner: Duplicate{
+			Prob: 0.2,
+			Inner: DelaySpikes{
+				Prob: 0.25, ExtraMin: 0.01, ExtraMax: 0.2,
+				Inner: Partition{
+					Src: 1, Dst: -1, From: 0.5, Until: 1.0,
+					Inner: netmodel.Bandwidth{Overhead: 0.002, BytesPerSec: 1e6},
+				},
+			},
+		},
+	}
+}
+
+// TestInjectorParityWithSimulatedModel pins the contract that carries the
+// simulator's fault semantics onto real sockets: for the same model, seed
+// and message sequence, Injector.Plan must return exactly the delivery plan
+// the simulated cluster's send path computes via netmodel.DeliveriesOf.
+func TestInjectorParityWithSimulatedModel(t *testing.T) {
+	const seed = 42
+	msgs := scenario(7, 500)
+
+	// Simulated side: the cluster consults DeliveriesOf with the kernel RNG.
+	simRNG := rand.New(rand.NewSource(seed))
+	simModel := faultStack()
+	var simPlans [][]float64
+	for _, m := range msgs {
+		plan := netmodel.DeliveriesOf(simModel, m, simRNG)
+		cp := make([]float64, len(plan))
+		copy(cp, plan)
+		simPlans = append(simPlans, cp)
+	}
+
+	// Distributed side: the distnet transport consults the Injector.
+	inj := NewInjector(faultStack(), seed)
+	drops, dups := 0, 0
+	for i, m := range msgs {
+		plan := inj.Plan(m.Src, m.Dst, m.Bytes, m.Procs, m.Now)
+		want := simPlans[i]
+		if len(plan) != len(want) {
+			t.Fatalf("msg %d: got %d deliveries, simulated model got %d", i, len(plan), len(want))
+		}
+		for k := range plan {
+			if plan[k] != want[k] {
+				t.Fatalf("msg %d copy %d: delay %g != simulated %g", i, k, plan[k], want[k])
+			}
+		}
+		switch {
+		case len(plan) == 0:
+			drops++
+		case len(plan) > 1:
+			dups++
+		}
+	}
+	// The scenario must actually exercise the fault paths, or the parity
+	// assertion is vacuous.
+	if drops == 0 || dups == 0 {
+		t.Fatalf("degenerate scenario: %d drops, %d duplicate deliveries", drops, dups)
+	}
+}
+
+// TestInjectorPartitionWindow checks that windowed injectors key off the
+// wall-clock `now` a real transport passes in.
+func TestInjectorPartitionWindow(t *testing.T) {
+	inj := NewInjector(Partition{
+		Src: -1, Dst: -1, From: 1.0, Until: 2.0,
+		Inner: netmodel.Fixed{D: 0.001},
+	}, 1)
+	if got := inj.Plan(0, 1, 64, 2, 0.5); len(got) != 1 {
+		t.Fatalf("before window: want 1 delivery, got %d", len(got))
+	}
+	if got := inj.Plan(0, 1, 64, 2, 1.5); len(got) != 0 {
+		t.Fatalf("inside window: want drop, got %d deliveries", len(got))
+	}
+	if got := inj.Plan(0, 1, 64, 2, 2.5); len(got) != 1 {
+		t.Fatalf("after window: want 1 delivery, got %d", len(got))
+	}
+}
+
+// TestInjectorNilModel documents the "no faults" fast path.
+func TestInjectorNilModel(t *testing.T) {
+	if NewInjector(nil, 1) != nil {
+		t.Fatal("nil model must yield a nil injector")
+	}
+}

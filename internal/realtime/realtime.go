@@ -71,7 +71,9 @@ type Result struct {
 	CommBlocked time.Duration
 }
 
-// transport adapts goroutine channels to core.Transport.
+// transport adapts goroutine channels to the full cluster.Transport
+// contract (and therefore to core.Transport plus all its optional
+// capability upgrades).
 type transport struct {
 	id, p   int
 	inbox   chan cluster.Message
@@ -85,6 +87,8 @@ type transport struct {
 	// the run has returned.
 	timers []*time.Timer
 }
+
+var _ cluster.Transport = (*transport)(nil)
 
 func (t *transport) ID() int { return t.id }
 
