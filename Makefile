@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short bench bench-core race distributed fuzz-wire results results-ext faults chaos metrics cover fmt vet lint examples
+.PHONY: all build test test-short bench bench-core race distributed fuzz-wire soak soak-short results results-ext faults chaos metrics cover fmt vet lint examples
 
 all: build vet test
 
@@ -44,12 +44,25 @@ fuzz-wire:
 bench: bench-core
 	go test -bench=. -benchmem ./...
 
-# Engine iteration + app-kernel micro-benchmarks, recorded as a
-# machine-readable baseline (ns/op, allocs/op) in BENCH_core.json.
+# Engine iteration + app-kernel + wire-plane micro-benchmarks, recorded as
+# a machine-readable baseline (ns/op, allocs/op) in BENCH_core.json. The
+# run fails if any benchmark's allocs/op regresses above the committed
+# baseline; Soak* series already in the file are preserved.
 bench-core:
-	go test -run '^$$' -bench 'EngineIteration|ComputeKernel|LoopbackRoundTrip' -benchmem \
-		./internal/core ./internal/apps/... ./internal/distnet | go run ./cmd/benchjson -o BENCH_core.json
+	go test -run '^$$' -bench 'EngineIteration|ComputeKernel|LoopbackRoundTrip|LinkThroughput' -benchmem \
+		./internal/core ./internal/apps/... ./internal/distnet \
+		| go run ./cmd/benchjson -baseline BENCH_core.json -o BENCH_core.json
 	@echo "wrote BENCH_core.json"
+
+# Wire-plane soak: 64 real OS processes under chaos (duplicates + delay
+# spikes), recording throughput / latency-percentile / allocs-per-message
+# series into BENCH_core.json.
+soak:
+	go run ./cmd/specsoak -procs 64 -iters 150 -chaos -o BENCH_core.json
+
+# CI-sized soak: 16 processes, no baseline write — a pass/fail scale check.
+soak-short:
+	go run ./cmd/specsoak -procs 16 -iters 80 -chaos
 
 # Regenerate the canonical paper reproduction (results_full.txt).
 results:

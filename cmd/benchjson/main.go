@@ -4,76 +4,30 @@
 // tooling.
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchjson -o BENCH_core.json
+//
+// With -o, series already in the output file that this run did not produce
+// (e.g. the soak harness's Soak* series) are kept; matching series are
+// replaced. With -baseline, any parsed benchmark whose allocs/op exceeds
+// the same series in the baseline file fails the run (exit 1) before
+// anything is written — the allocation-regression gate of `make bench-core`.
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"regexp"
-	"strconv"
-	"strings"
+
+	"specomp/internal/benchfmt"
 )
 
-// Result is one parsed benchmark line.
-type Result struct {
-	Pkg         string  `json:"pkg"`
-	Name        string  `json:"name"`
-	Iters       int64   `json:"iters"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-}
-
-// Report is the emitted document.
-type Report struct {
-	GOOS       string   `json:"goos,omitempty"`
-	GOARCH     string   `json:"goarch,omitempty"`
-	CPU        string   `json:"cpu,omitempty"`
-	Benchmarks []Result `json:"benchmarks"`
-}
-
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
-
 func main() {
-	out := flag.String("o", "", "output file (default stdout)")
+	out := flag.String("o", "", "output file (default stdout); existing series are merged, not clobbered")
+	baseline := flag.String("baseline", "", "fail if any benchmark's allocs/op regresses above this report")
 	flag.Parse()
 
-	var rep Report
-	pkg := ""
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "pkg: "):
-			pkg = strings.TrimPrefix(line, "pkg: ")
-		case strings.HasPrefix(line, "goos: "):
-			rep.GOOS = strings.TrimPrefix(line, "goos: ")
-		case strings.HasPrefix(line, "goarch: "):
-			rep.GOARCH = strings.TrimPrefix(line, "goarch: ")
-		case strings.HasPrefix(line, "cpu: "):
-			rep.CPU = strings.TrimPrefix(line, "cpu: ")
-		}
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
-			continue
-		}
-		r := Result{Pkg: pkg, Name: m[1]}
-		r.Iters, _ = strconv.ParseInt(m[2], 10, 64)
-		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
-		if m[4] != "" {
-			r.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
-		}
-		if m[5] != "" {
-			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
-		}
-		rep.Benchmarks = append(rep.Benchmarks, r)
-	}
-	if err := sc.Err(); err != nil {
+	rep, err := benchfmt.Parse(os.Stdin)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson: reading stdin:", err)
 		os.Exit(1)
 	}
@@ -81,17 +35,43 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
 		os.Exit(1)
 	}
-	buf, err := json.MarshalIndent(&rep, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+
+	if *baseline != "" {
+		base, err := benchfmt.Load(*baseline)
+		switch {
+		case os.IsNotExist(err):
+			fmt.Fprintf(os.Stderr, "benchjson: no baseline at %s yet; skipping regression check\n", *baseline)
+		case err != nil:
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		default:
+			if regs := rep.CompareAllocs(&base); len(regs) > 0 {
+				fmt.Fprintln(os.Stderr, "benchjson: allocs/op regressions vs", *baseline)
+				for _, r := range regs {
+					fmt.Fprintln(os.Stderr, "  ", r)
+				}
+				os.Exit(1)
+			}
+		}
 	}
-	buf = append(buf, '\n')
+
 	if *out == "" {
-		os.Stdout.Write(buf)
+		buf, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(append(buf, '\n'))
 		return
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+
+	final := rep
+	if prev, err := benchfmt.Load(*out); err == nil {
+		prev.GOOS, prev.GOARCH, prev.CPU = rep.GOOS, rep.GOARCH, rep.CPU
+		prev.Merge(rep.Benchmarks...)
+		final = prev
+	}
+	if err := final.Save(*out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

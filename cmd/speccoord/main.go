@@ -7,7 +7,7 @@
 //
 //	speccoord [-addr host:port] [-app heat|jacobi] [-procs P] [-iters N]
 //	          [-fw W] [-theta θ] [-rows R] [-cols C] [-n N] [-tol T]
-//	          [-checkpoint K] [-spawn] [-http] [-timeout d]
+//	          [-checkpoint K] [-delta] [-nobatch] [-spawn] [-http] [-timeout d]
 //
 // With -spawn, speccoord launches the P node processes itself on
 // 127.0.0.1 (re-executing its own binary in node mode) — a whole
@@ -46,6 +46,8 @@ func main() {
 		tol     = flag.Float64("tol", 0, "jacobi convergence tolerance (0 = run all iterations)")
 		seed    = flag.Int64("seed", 1, "problem seed (jacobi)")
 		ckpt    = flag.Int("checkpoint", 0, "checkpoint every K iterations (0 = off)")
+		delta   = flag.Bool("delta", false, "enable the delta codec on batch frames")
+		nobatch = flag.Bool("nobatch", false, "disable frame batching (per-message wire baseline)")
 		spawn   = flag.Bool("spawn", false, "launch the node processes locally")
 		http    = flag.Bool("http", false, "spawned nodes serve /metrics and /journal on ephemeral ports")
 		timeout = flag.Duration("timeout", 5*time.Minute, "overall run timeout")
@@ -78,6 +80,7 @@ func main() {
 		App: *app, Procs: *procs, MaxIter: *iters, FW: *fw, BW: *bw,
 		Theta: *theta, Rows: *rows, Cols: *cols, N: *n, Tol: *tol,
 		Seed: *seed, CheckpointEvery: *ckpt,
+		Wire: distnet.WireSpec{Delta: *delta, NoBatch: *nobatch},
 	}
 	coord, err := distnet.NewCoordinator(distnet.CoordConfig{
 		Addr: *addr, Spec: spec, Timeout: *timeout,

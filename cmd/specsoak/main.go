@@ -1,0 +1,195 @@
+// Command specsoak soaks the distnet wire plane at paper-exceeding scale:
+// one coordinator plus P node processes (default 64) on 127.0.0.1, each a
+// real OS process re-executed from this binary, optionally under chaos
+// (loss-free duplicates and sender-side delay spikes). It records the
+// throughput measures the batching work is judged by — aggregate message
+// rate, delivery-latency percentiles, and whole-process allocations per
+// message — as Soak* series in the repo's benchmark baseline.
+//
+// Usage:
+//
+//	specsoak [-procs 64] [-iters 150] [-chaos] [-delta] [-nobatch]
+//	         [-o BENCH_core.json] [-timeout 5m]
+//
+// With -o, the soak series are merged into the existing report (other
+// series are kept); without it the summary only prints.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"time"
+
+	"specomp/internal/benchfmt"
+	"specomp/internal/distnet"
+	"specomp/internal/faults"
+	"specomp/internal/netmodel"
+)
+
+// chaosModel is the soak's fault stack: loss-free (drops would only shift
+// work to the engine's repair path; the soak targets the wire plane), but
+// duplicate-heavy and spiky enough that batches ship under reordering
+// pressure the whole run.
+func chaosModel() netmodel.Model {
+	return faults.Duplicate{
+		Prob: 0.15,
+		Inner: faults.DelaySpikes{
+			Prob: 0.25, ExtraMin: 0.0005, ExtraMax: 0.003,
+			Inner: netmodel.Fixed{D: 0.0001},
+		},
+	}
+}
+
+func main() {
+	var (
+		procs   = flag.Int("procs", 64, "number of node processes")
+		iters   = flag.Int("iters", 150, "iterations per node")
+		fw      = flag.Int("fw", 2, "forward speculation window")
+		theta   = flag.Float64("theta", 1e-3, "speculation acceptance threshold θ")
+		chaos   = flag.Bool("chaos", false, "inject duplicates and delay spikes on every node's send path")
+		delta   = flag.Bool("delta", false, "enable the delta codec on batch frames")
+		nobatch = flag.Bool("nobatch", false, "disable frame batching (per-message baseline)")
+		out     = flag.String("o", "", "merge Soak* series into this benchfmt report (e.g. BENCH_core.json)")
+		timeout = flag.Duration("timeout", 5*time.Minute, "overall run timeout")
+
+		// Node mode, used internally to re-execute this binary as one rank.
+		join = flag.String("join", "", "internal: run as a node against this coordinator")
+		seed = flag.Int64("seed", 0, "internal: chaos seed for this node (0 = no chaos)")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "specsoak ", log.Ltime|log.Lmicroseconds)
+
+	if *join != "" {
+		cfg := distnet.NodeConfig{Coord: *join}
+		if *seed != 0 {
+			cfg.Faults = chaosModel()
+			cfg.FaultSeed = *seed
+		}
+		if _, err := distnet.RunNode(cfg); err != nil {
+			logger.Fatalf("node: %v", err)
+		}
+		return
+	}
+
+	spec := distnet.RunSpec{
+		App: "heat", Procs: *procs, MaxIter: *iters, FW: *fw, Theta: *theta,
+		// Two grid rows per rank keeps every rank a real participant with
+		// boundary traffic both ways at any P; the floor keeps small-P runs
+		// from degenerating into trivial strips.
+		Rows: max(2*(*procs), 64), Cols: 32,
+		Wire: distnet.WireSpec{Delta: *delta, NoBatch: *nobatch},
+	}
+	coord, err := distnet.NewCoordinator(distnet.CoordConfig{Spec: spec, Timeout: *timeout})
+	if err != nil {
+		logger.Fatalf("%v", err)
+	}
+	spec = coord.Spec()
+	logger.Printf("soaking %d processes × %d iters (chaos=%v delta=%v nobatch=%v) via %s",
+		spec.Procs, spec.MaxIter, *chaos, *delta, *nobatch, coord.Addr())
+
+	self, err := os.Executable()
+	if err != nil {
+		self = os.Args[0]
+	}
+	nodes := make([]*exec.Cmd, 0, spec.Procs)
+	for i := 0; i < spec.Procs; i++ {
+		args := []string{"-join", coord.Addr()}
+		if *chaos {
+			args = append(args, "-seed", strconv.Itoa(1000+i))
+		}
+		cmd := exec.Command(self, args...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			logger.Fatalf("spawning node %d: %v", i, err)
+		}
+		nodes = append(nodes, cmd)
+	}
+
+	reports, err := coord.Wait()
+	for _, cmd := range nodes {
+		_ = cmd.Wait()
+	}
+	if err != nil {
+		logger.Fatalf("%v", err)
+	}
+
+	// Every rank must have run the full schedule: a node that silently
+	// stalled or shed iterations voids the soak.
+	failed := false
+	for _, r := range reports {
+		if r.Iters != spec.MaxIter {
+			logger.Printf("FAIL: rank %d ran %d/%d iterations", r.Rank, r.Iters, spec.MaxIter)
+			failed = true
+		}
+		if r.MsgsRecvd == 0 || r.FramesSent == 0 {
+			logger.Printf("FAIL: rank %d reported no wire traffic (%d msgs in, %d frames out)",
+				r.Rank, r.MsgsRecvd, r.FramesSent)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+
+	var (
+		totalMsgs, totalFrames int
+		maxWall, p99Worst      float64
+		p50s, allocs           []float64
+	)
+	for _, r := range reports {
+		totalMsgs += r.MsgsRecvd
+		totalFrames += r.FramesSent
+		maxWall = max(maxWall, r.WallSec)
+		p99Worst = max(p99Worst, r.LatP99Sec)
+		p50s = append(p50s, r.LatP50Sec)
+		allocs = append(allocs, r.AllocsPerMsg)
+	}
+	sort.Float64s(p50s)
+	p50Median := p50s[len(p50s)/2]
+	allocMean := 0.0
+	for _, a := range allocs {
+		allocMean += a
+	}
+	allocMean /= float64(len(allocs))
+	msgsPerFrame := float64(totalMsgs) / float64(totalFrames)
+
+	fmt.Printf("soak P=%d iters=%d: %d msgs in %d frames (%.1f msgs/frame)\n",
+		spec.Procs, spec.MaxIter, totalMsgs, totalFrames, msgsPerFrame)
+	fmt.Printf("  rate      %.0f msgs/sec aggregate (slowest node %.3fs wall)\n",
+		float64(totalMsgs)/maxWall, maxWall)
+	fmt.Printf("  delivery  p50 %.0fµs (median rank)   p99 %.0fµs (worst rank)\n",
+		p50Median*1e6, p99Worst*1e6)
+	fmt.Printf("  allocs    %.1f per message (whole process, mean rank)\n", allocMean)
+
+	if *out == "" {
+		return
+	}
+	suffix := fmt.Sprintf("/P%d", spec.Procs)
+	series := []benchfmt.Result{
+		// ns_per_op = wall nanoseconds per delivered message across the whole
+		// mesh: the aggregate-throughput series (lower is faster).
+		{Pkg: "specomp/cmd/specsoak", Name: "SoakMsgRate" + suffix,
+			Iters: int64(totalMsgs), NsPerOp: 1e9 * maxWall / float64(totalMsgs)},
+		{Pkg: "specomp/cmd/specsoak", Name: "SoakDeliveryP50" + suffix,
+			Iters: int64(totalMsgs), NsPerOp: 1e9 * p50Median},
+		{Pkg: "specomp/cmd/specsoak", Name: "SoakDeliveryP99" + suffix,
+			Iters: int64(totalMsgs), NsPerOp: 1e9 * p99Worst},
+		{Pkg: "specomp/cmd/specsoak", Name: "SoakAllocsPerMsg" + suffix,
+			Iters: int64(totalMsgs), AllocsPerOp: int64(allocMean + 0.5)},
+	}
+	rep, err := benchfmt.Load(*out)
+	if err != nil && !os.IsNotExist(err) {
+		logger.Fatalf("%v", err)
+	}
+	rep.Merge(series...)
+	if err := rep.Save(*out); err != nil {
+		logger.Fatalf("%v", err)
+	}
+	logger.Printf("merged %d Soak* series into %s", len(series), *out)
+}

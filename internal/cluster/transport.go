@@ -15,6 +15,14 @@ package cluster
 // cluster.Transport therefore runs the engine with every capability
 // enabled. Each backend carries a compile-time assertion against this
 // interface so the contract cannot drift silently.
+//
+// A transport may coalesce several sent messages into one physical frame
+// (distnet batches per-iteration sends to the same peer) and may delay a
+// message briefly while waiting for company, provided per-(src, dst)
+// delivery order is preserved and a message is never held once the
+// receiver is blocked in Recv/RecvDeadline. Senders and receivers observe
+// ordinary message semantics either way; batching is invisible above the
+// Transport contract.
 type Transport interface {
 	// ID returns the processor index (0-based).
 	ID() int

@@ -3,6 +3,9 @@ package distnet
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
 	"net"
 	"testing"
 
@@ -10,27 +13,30 @@ import (
 )
 
 // BenchmarkFrameEncode measures the codec alone: one data frame with a
-// 256-element payload into a reusable buffer.
+// 256-element payload through a persistent Encoder.
 func BenchmarkFrameEncode(b *testing.B) {
 	f := Frame{Type: FrameData, Msg: cluster.Message{
 		Src: 0, Dst: 1, Tag: 1, Iter: 100, SentAt: 1.5,
 		Data: make([]float64, 256),
 	}}
 	var buf bytes.Buffer
-	var scratch []byte
-	var err error
+	enc := NewEncoder(&buf, false)
+	if err := enc.Encode(&f); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		buf.Reset()
-		if scratch, err = writeFrame(&buf, scratch, &f); err != nil {
+		if err := enc.Encode(&f); err != nil {
 			b.Fatal(err)
 		}
 	}
-	b.SetBytes(int64(buf.Len()))
 }
 
-// BenchmarkFrameDecode measures the decode side of the same frame.
+// BenchmarkFrameDecode measures the decode side of the same frame through a
+// persistent reusing Decoder — the data-plane reader configuration.
 func BenchmarkFrameDecode(b *testing.B) {
 	f := Frame{Type: FrameData, Msg: cluster.Message{
 		Src: 0, Dst: 1, Tag: 1, Iter: 100, SentAt: 1.5,
@@ -41,11 +47,16 @@ func BenchmarkFrameDecode(b *testing.B) {
 		b.Fatal(err)
 	}
 	enc := buf.Bytes()
+	r := bytes.NewReader(enc)
+	dec := NewDecoder(r)
+	dec.Reuse = true
+	var got Frame
 	b.ReportAllocs()
 	b.SetBytes(int64(len(enc)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := readFrame(bytes.NewReader(enc)); err != nil {
+		r.Reset(enc)
+		if err := dec.Decode(&got); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -54,7 +65,9 @@ func BenchmarkFrameDecode(b *testing.B) {
 // BenchmarkLoopbackRoundTrip measures one data-frame round trip over a real
 // 127.0.0.1 TCP connection — the latency floor under every distributed run
 // on one machine, and the figure to compare against the simulator's
-// modelled latencies.
+// modelled latencies. Both ends run the persistent Encoder/Decoder pair in
+// reuse mode, so steady state is zero allocations per round trip (allocs/op
+// counts every goroutine, echo peer included).
 func BenchmarkLoopbackRoundTrip(b *testing.B) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -69,14 +82,15 @@ func BenchmarkLoopbackRoundTrip(b *testing.B) {
 			return
 		}
 		defer conn.Close()
-		br := bufio.NewReader(conn)
-		var scratch []byte
+		dec := NewDecoder(bufio.NewReader(conn))
+		dec.Reuse = true
+		enc := NewEncoder(conn, false)
+		var f Frame
 		for {
-			f, err := readFrame(br)
-			if err != nil {
+			if err := dec.Decode(&f); err != nil {
 				return
 			}
-			if scratch, err = writeFrame(conn, scratch, &f); err != nil {
+			if err := enc.Encode(&f); err != nil {
 				return
 			}
 		}
@@ -87,21 +101,132 @@ func BenchmarkLoopbackRoundTrip(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer conn.Close()
-	br := bufio.NewReader(conn)
+	enc := NewEncoder(conn, false)
+	dec := NewDecoder(bufio.NewReader(conn))
+	dec.Reuse = true
 
 	f := Frame{Type: FrameData, Msg: cluster.Message{
 		Src: 0, Dst: 1, Tag: 1, Iter: 7, SentAt: 0.5,
 		Data: make([]float64, 64), // a typical strip-edge payload
 	}}
-	var scratch []byte
+	var resp Frame
+	roundTrip := func() {
+		if err := enc.Encode(&f); err != nil {
+			b.Fatal(err)
+		}
+		if err := dec.Decode(&resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Warm up both ends' buffers so the timed region is steady state.
+	for i := 0; i < 16; i++ {
+		roundTrip()
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if scratch, err = writeFrame(conn, scratch, &f); err != nil {
-			b.Fatal(err)
+		roundTrip()
+	}
+}
+
+// benchLinkThroughput streams b.N 16-element messages one way over loopback
+// TCP and waits for the receiver to acknowledge the full count, so the
+// timed region covers the whole pipe: encode, syscalls, wakeups, decode.
+// batchSize 1 writes one FrameData (and one syscall) per message — the
+// per-message baseline the writer goroutine degenerates to without
+// batching; batchSize k coalesces k messages per FrameBatch.
+func benchLinkThroughput(b *testing.B, batchSize int) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+
+	// Receiver: drain to EOF counting messages, then acknowledge the count.
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
 		}
-		if _, err := readFrame(br); err != nil {
-			b.Fatal(err)
+		defer conn.Close()
+		dec := NewDecoder(bufio.NewReaderSize(conn, 64<<10))
+		dec.Reuse = true
+		var f Frame
+		count := uint64(0)
+		for {
+			err := dec.Decode(&f)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return
+			}
+			switch f.Type {
+			case FrameData:
+				count++
+			case FrameBatch:
+				count += uint64(len(f.Batch))
+			}
 		}
+		var ack [8]byte
+		binary.BigEndian.PutUint64(ack[:], count)
+		_, _ = conn.Write(ack[:])
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	enc := NewEncoder(conn, false)
+
+	msg := cluster.Message{
+		Src: 0, Dst: 1, Tag: 1, SentAt: 0.5,
+		Data: make([]float64, 16), // the strip-edge payload of a small run
+	}
+	b.SetBytes(16 * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if batchSize <= 1 {
+		f := Frame{Type: FrameData, Msg: msg}
+		for i := 0; i < b.N; i++ {
+			f.Msg.Iter = i
+			if err := enc.Encode(&f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	} else {
+		f := Frame{Type: FrameBatch, Batch: make([]cluster.Message, 0, batchSize)}
+		for i := 0; i < b.N; i++ {
+			msg.Iter = i
+			f.Batch = append(f.Batch, msg)
+			if len(f.Batch) == batchSize || i == b.N-1 {
+				if err := enc.Encode(&f); err != nil {
+					b.Fatal(err)
+				}
+				f.Batch = f.Batch[:0]
+			}
+		}
+	}
+	if err := conn.(*net.TCPConn).CloseWrite(); err != nil {
+		b.Fatal(err)
+	}
+	var ack [8]byte
+	if _, err := io.ReadFull(conn, ack[:]); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if got := binary.BigEndian.Uint64(ack[:]); got != uint64(b.N) {
+		b.Fatalf("receiver counted %d messages, want %d", got, b.N)
+	}
+}
+
+// BenchmarkLinkThroughput compares per-message framing against batch
+// framing on one TCP link; the batched/frames ratio is the wire-plane
+// speedup batching buys (the acceptance floor is 2×).
+func BenchmarkLinkThroughput(b *testing.B) {
+	b.Run("frames", func(b *testing.B) { benchLinkThroughput(b, 1) })
+	for _, size := range []int{8, 32} {
+		b.Run(fmt.Sprintf("batched%d", size), func(b *testing.B) { benchLinkThroughput(b, size) })
 	}
 }

@@ -41,20 +41,29 @@ type CoordConfig struct {
 
 // NodeReport is one node's outcome as collected by the coordinator.
 type NodeReport struct {
-	Rank      int       `json:"rank"`
-	Addr      string    `json:"addr"`           // peer listen address
-	HTTP      string    `json:"http,omitempty"` // node's obs endpoint, if served
-	Converged bool      `json:"converged"`
-	Iters     int       `json:"iters"`
-	SpecsMade int       `json:"specs_made"`
-	SpecsBad  int       `json:"specs_bad"`
-	Repairs   int       `json:"repairs"`
-	Overruns  int       `json:"overruns"`
-	WallSec   float64   `json:"wall_sec"`
-	CommSec   float64   `json:"comm_sec"`
-	MsgsSent  int       `json:"msgs_sent"`
-	BytesSent int       `json:"bytes_sent"`
-	Final     []float64 `json:"final,omitempty"`
+	Rank      int     `json:"rank"`
+	Addr      string  `json:"addr"`           // peer listen address
+	HTTP      string  `json:"http,omitempty"` // node's obs endpoint, if served
+	Converged bool    `json:"converged"`
+	Iters     int     `json:"iters"`
+	SpecsMade int     `json:"specs_made"`
+	SpecsBad  int     `json:"specs_bad"`
+	Repairs   int     `json:"repairs"`
+	Overruns  int     `json:"overruns"`
+	WallSec   float64 `json:"wall_sec"`
+	CommSec   float64 `json:"comm_sec"`
+	MsgsSent  int     `json:"msgs_sent"`
+	BytesSent int     `json:"bytes_sent"`
+	// Wire-plane throughput measures (see resultMsg): messages delivered to
+	// the engine, physical frames written (batching ⇒ FramesSent ≪
+	// MsgsSent), delivery-latency percentiles, and whole-process heap
+	// allocations per message over the run.
+	MsgsRecvd    int       `json:"msgs_recvd,omitempty"`
+	FramesSent   int       `json:"frames_sent,omitempty"`
+	LatP50Sec    float64   `json:"lat_p50_sec,omitempty"`
+	LatP99Sec    float64   `json:"lat_p99_sec,omitempty"`
+	AllocsPerMsg float64   `json:"allocs_per_msg,omitempty"`
+	Final        []float64 `json:"final,omitempty"`
 }
 
 // Coordinator runs the membership/barrier/result protocol for one run.
@@ -275,7 +284,10 @@ func (c *Coordinator) run() {
 			Repairs: rm.Repairs, Overruns: rm.Overruns,
 			WallSec: rm.WallSec, CommSec: rm.CommSec,
 			MsgsSent: rm.MsgsSent, BytesSent: rm.BytesSent,
-			Final: rm.Final,
+			MsgsRecvd: rm.MsgsRecvd, FramesSent: rm.FramesSent,
+			LatP50Sec: rm.LatP50Sec, LatP99Sec: rm.LatP99Sec,
+			AllocsPerMsg: rm.AllocsPerMsg,
+			Final:        rm.Final,
 		})
 	}
 	sort.Slice(c.reports, func(i, j int) bool { return c.reports[i].Rank < c.reports[j].Rank })

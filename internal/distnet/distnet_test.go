@@ -324,6 +324,62 @@ func TestJacobiConvergesDistributed(t *testing.T) {
 	}
 }
 
+// TestWireModesConverge runs the same heat problem under each wire-plane
+// shape — batched (default), batched+delta, and per-message frames — and
+// asserts all three converge on the serial reference. For the batched modes
+// it also checks the throughput accounting: frames actually coalesced
+// (FramesSent < MsgsSent) and delivery-latency percentiles are sane.
+func TestWireModesConverge(t *testing.T) {
+	modes := map[string]WireSpec{
+		"batched": {},
+		"delta":   {Delta: true},
+		"nobatch": {NoBatch: true},
+	}
+	for name, wire := range modes {
+		t.Run(name, func(t *testing.T) {
+			spec := RunSpec{App: "heat", Procs: 4, MaxIter: 60, FW: 2, Theta: 1e-3,
+				Rows: 24, Cols: 16, Wire: wire}
+			coord, err := NewCoordinator(CoordConfig{Spec: spec, Timeout: time.Minute})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer coord.Close()
+			spec = coord.Spec()
+			launchNodes(t, spec.Procs, func(rank int) NodeConfig {
+				return NodeConfig{Coord: coord.Addr()}
+			})
+			reports, err := coord.Wait()
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial := heat.DefaultGrid(spec.Rows, spec.Cols).SerialRun(spec.MaxIter)
+			field := assembleHeat(t, spec, reports)
+			if d := heat.MaxDiff(field, serial); d > 0.5 {
+				t.Errorf("field deviates %g from serial reference", d)
+			}
+			for _, rep := range reports {
+				if rep.MsgsRecvd == 0 {
+					t.Errorf("rank %d delivered no messages", rep.Rank)
+				}
+				if rep.FramesSent == 0 {
+					t.Errorf("rank %d reported no frames", rep.Rank)
+				}
+				if !wire.NoBatch && rep.FramesSent >= rep.MsgsSent {
+					t.Errorf("rank %d sent %d frames for %d messages: nothing coalesced",
+						rep.Rank, rep.FramesSent, rep.MsgsSent)
+				}
+				// Loopback deliveries can be faster than the send-timestamp
+				// clock resolution, so p50 may legitimately clamp to zero;
+				// ordering and non-negativity must still hold.
+				if rep.LatP50Sec < 0 || rep.LatP99Sec < rep.LatP50Sec {
+					t.Errorf("rank %d latency percentiles implausible: p50=%g p99=%g",
+						rep.Rank, rep.LatP50Sec, rep.LatP99Sec)
+				}
+			}
+		})
+	}
+}
+
 // TestRunSpecValidation covers Normalize's rejection paths.
 func TestRunSpecValidation(t *testing.T) {
 	bad := []RunSpec{

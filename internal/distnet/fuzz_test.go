@@ -3,7 +3,9 @@ package distnet
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"hash/crc32"
+	"io"
 	"testing"
 
 	"specomp/internal/cluster"
@@ -19,8 +21,9 @@ func frameFor(payload []byte) []byte {
 }
 
 // FuzzFrameDecode feeds arbitrary bytes to the frame decoder. The decoder
-// must never panic and never over-allocate; whenever it does decode a
-// frame, re-encoding and re-decoding must be stable.
+// must never panic, never over-allocate, and every failure must land in
+// exactly one class of the package error taxonomy; whenever it does decode
+// a frame, re-encoding and re-decoding must be stable.
 //
 // Run with: go test -fuzz=FuzzFrameDecode ./internal/distnet
 func FuzzFrameDecode(f *testing.F) {
@@ -29,12 +32,18 @@ func FuzzFrameDecode(f *testing.F) {
 		{Type: FrameData, Msg: cluster.Message{Src: 0, Dst: 1, Tag: 1, Iter: 3, SentAt: 0.25, Data: []float64{1, 2, 3}}},
 		{Type: FrameData, Msg: cluster.Message{Src: 2, Dst: cluster.Any, Tag: 2, Iter: -1}},
 		{Type: FrameHello, Rank: -1, Epoch: 1, Addr: "127.0.0.1:9999"},
+		{Type: FrameHello, Rank: 4, Epoch: 2, Addr: "127.0.0.1:80", Caps: CapBatch | CapDelta},
 		{Type: FrameConfig, Blob: []byte(`{"rank":0}`)},
 		{Type: FrameHeartbeat},
 		{Type: FrameBarrier, Seq: 0},
 		{Type: FrameCheckpoint, Rank: 3, Blob: []byte{1, 2, 3, 4}},
 		{Type: FrameResult, Blob: []byte(`{"converged":true}`)},
 		{Type: FrameShutdown},
+		{Type: FrameBatch, Batch: []cluster.Message{
+			{Src: 0, Dst: 1, Tag: 1, Iter: 5, SentAt: 0.5, Data: []float64{1, 2}},
+			{Src: 0, Dst: 1, Tag: 2, Iter: 5},
+			{Src: 1, Dst: 0, Tag: 1, Iter: 6, Data: []float64{}},
+		}},
 	}
 	for i := range seeds {
 		var buf bytes.Buffer
@@ -51,7 +60,23 @@ func FuzzFrameDecode(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := readFrame(bytes.NewReader(data))
 		if err != nil {
-			return // malformed input rejected: the property we want
+			// Malformed input rejected — but it must be rejected with exactly
+			// one taxonomy class: clean close, truncation, or corruption. The
+			// dial path retries on truncation and gives up on corruption, so
+			// an error in both classes (or neither) breaks real control flow.
+			clean := err == io.EOF
+			truncated := errors.Is(err, io.ErrUnexpectedEOF)
+			corrupt := errors.Is(err, ErrCorrupt)
+			classes := 0
+			for _, c := range []bool{clean, truncated, corrupt} {
+				if c {
+					classes++
+				}
+			}
+			if classes != 1 {
+				t.Fatalf("decode error %v is in %d taxonomy classes, want exactly 1", err, classes)
+			}
+			return
 		}
 		// Decoded OK ⇒ the codec must be stable under re-encode/re-decode.
 		var buf bytes.Buffer
@@ -72,22 +97,18 @@ func FuzzFrameDecode(f *testing.F) {
 // elements bit-equal (reflect.DeepEqual would reject NaN == NaN).
 func frameEqualFuzz(a, b Frame) bool {
 	if a.Type != b.Type || a.Rank != b.Rank || a.Epoch != b.Epoch ||
-		a.Addr != b.Addr || a.Seq != b.Seq || !bytes.Equal(a.Blob, b.Blob) {
+		a.Caps != b.Caps || a.Addr != b.Addr || a.Seq != b.Seq ||
+		!bytes.Equal(a.Blob, b.Blob) {
 		return false
 	}
-	am, bm := a.Msg, b.Msg
-	if am.Src != bm.Src || am.Dst != bm.Dst || am.Tag != bm.Tag ||
-		am.Iter != bm.Iter || am.Epoch != bm.Epoch {
+	if !msgEqual(a.Msg, b.Msg) {
 		return false
 	}
-	if !sameFloat(am.SentAt, bm.SentAt) {
+	if (a.Batch == nil) != (b.Batch == nil) || len(a.Batch) != len(b.Batch) {
 		return false
 	}
-	if (am.Data == nil) != (bm.Data == nil) || len(am.Data) != len(bm.Data) {
-		return false
-	}
-	for i := range am.Data {
-		if !sameFloat(am.Data[i], bm.Data[i]) {
+	for i := range a.Batch {
+		if !msgEqual(a.Batch[i], b.Batch[i]) {
 			return false
 		}
 	}

@@ -9,8 +9,12 @@ package distnet
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net"
+	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -106,8 +110,25 @@ type transport struct {
 	commSec float64
 	inj     *faults.Injector
 	procs   int
+	wire    WireSpec
 
 	hbTimeout time.Duration
+
+	// Batch accumulation: per-destination pending messages, flushed into a
+	// single FrameBatch when a size cap trips, when the engine is about to
+	// block in a receive (the iteration boundary — both sides flush before
+	// blocking, so batching can never deadlock the exchange), or when the
+	// linger loop finds a batch that has waited long enough. batchMu covers
+	// the engine goroutine and the linger goroutine.
+	batchMu    sync.Mutex
+	pend       [][]cluster.Message // pooled slices, nil when batching is off
+	pendBytes  []int
+	pendSince  []time.Time
+	lingerStop chan struct{}
+
+	// lat collects per-message delivery latencies (DeliveredAt − SentAt),
+	// engine goroutine only.
+	lat []float64
 
 	// timers tracks outstanding injector-delayed sends so close can stop
 	// them instead of leaking AfterFunc callbacks past the run.
@@ -153,9 +174,14 @@ func (t *transport) SendShared(dst, tag, iter int, data []float64) {
 	t.obsBytesSent.Add(float64(bytes))
 	pc := t.peers[dst]
 	if t.inj == nil {
-		pc.send(Frame{Type: FrameData, Msg: m})
+		t.enqueueData(pc, m, bytes)
 		return
 	}
+	// Fault injection is per message, not per frame: each logical message is
+	// planned individually (parity with the simulator's DeliveriesOf), and
+	// only the surviving immediate copies enter a batch. Delayed copies ship
+	// as single frames when their timers fire — they have, by construction,
+	// already left the iteration's coalescing window.
 	plan := t.inj.Plan(t.rank, dst, bytes, t.procs, m.SentAt)
 	if len(plan) == 0 {
 		t.drops++
@@ -163,10 +189,101 @@ func (t *transport) SendShared(dst, tag, iter int, data []float64) {
 	}
 	for _, d := range plan {
 		if d <= 0 {
-			pc.send(Frame{Type: FrameData, Msg: m})
+			t.enqueueData(pc, m, bytes)
 			continue
 		}
 		t.holdBack(pc, Frame{Type: FrameData, Msg: m}, d)
+	}
+}
+
+// enqueueData queues one data message on its link: appended to the pending
+// batch when the link negotiated batching, a single frame otherwise. Size
+// caps flush inline.
+func (t *transport) enqueueData(pc *peerConn, m cluster.Message, bytes int) {
+	if !pc.opts.batch {
+		pc.send(Frame{Type: FrameData, Msg: m})
+		return
+	}
+	dst := pc.rank
+	t.batchMu.Lock()
+	if len(t.pend[dst]) == 0 {
+		t.pendSince[dst] = time.Now()
+	}
+	t.pend[dst] = append(t.pend[dst], m)
+	t.pendBytes[dst] += bytes
+	var f Frame
+	flush := false
+	if len(t.pend[dst]) >= t.wire.MaxBatchMsgs || t.pendBytes[dst] >= t.wire.MaxBatchBytes {
+		f, flush = t.popLocked(dst)
+	}
+	t.batchMu.Unlock()
+	if flush {
+		pc.send(f)
+	}
+}
+
+// popLocked removes and returns dst's pending batch as a ready-to-send
+// frame (a plain data frame when only one message is pending). Caller holds
+// batchMu.
+func (t *transport) popLocked(dst int) (Frame, bool) {
+	msgs := t.pend[dst]
+	if len(msgs) == 0 {
+		return Frame{}, false
+	}
+	t.pend[dst] = getBatch()
+	t.pendBytes[dst] = 0
+	if len(msgs) == 1 {
+		m := msgs[0]
+		releaseBatch(msgs)
+		return Frame{Type: FrameData, Msg: m}, true
+	}
+	return Frame{Type: FrameBatch, Batch: msgs}, true
+}
+
+// flushAll pushes every pending batch onto its link. The engine calls it on
+// entry to a blocking receive: at that point it has said everything it has
+// to say this iteration, and the peer may be waiting on exactly these
+// messages.
+func (t *transport) flushAll() {
+	if t.pend == nil {
+		return
+	}
+	t.batchMu.Lock()
+	for dst := range t.pend {
+		if f, ok := t.popLocked(dst); ok {
+			t.peers[dst].send(f)
+		}
+	}
+	t.batchMu.Unlock()
+}
+
+// lingerLoop flushes batches that have waited past the linger budget —
+// the backstop for messages enqueued while the engine computes on without
+// blocking (speculative sends mid-iteration).
+func (t *transport) lingerLoop() {
+	linger := time.Duration(t.wire.LingerUS) * time.Microsecond
+	tickEvery := linger
+	if tickEvery < time.Millisecond {
+		tickEvery = time.Millisecond // bound wakeup rate at large P
+	}
+	tick := time.NewTicker(tickEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			now := time.Now()
+			t.batchMu.Lock()
+			for dst := range t.pend {
+				if len(t.pend[dst]) > 0 && now.Sub(t.pendSince[dst]) >= linger {
+					if f, ok := t.popLocked(dst); ok {
+						t.peers[dst].send(f)
+					}
+				}
+			}
+			t.batchMu.Unlock()
+		case <-t.lingerStop:
+			return
+		}
 	}
 }
 
@@ -198,6 +315,21 @@ func matches(m cluster.Message, src, tag int) bool {
 	return (src == cluster.Any || m.Src == src) && (tag == cluster.Any || m.Tag == tag)
 }
 
+// popped stamps a message just pulled off the inbox and records its
+// delivery latency (clamped at zero: SentAt and DeliveredAt are measured on
+// different processes' clocks).
+func (t *transport) popped(m *cluster.Message) {
+	m.DeliveredAt = t.Now()
+	if d := m.DeliveredAt - m.SentAt; d > 0 {
+		t.lat = append(t.lat, d)
+	} else {
+		t.lat = append(t.lat, 0)
+	}
+}
+
+// TryRecv polls without flushing pending batches: a poll is not a
+// commitment to wait, and flushing here would defeat coalescing (the engine
+// polls between speculative iterations).
 func (t *transport) TryRecv(src, tag int) (cluster.Message, bool) {
 	if m, ok := t.takePending(src, tag); ok {
 		return m, true
@@ -205,7 +337,7 @@ func (t *transport) TryRecv(src, tag int) (cluster.Message, bool) {
 	for {
 		select {
 		case m := <-t.inbox:
-			m.DeliveredAt = t.Now()
+			t.popped(&m)
 			if matches(m, src, tag) {
 				t.msgsRecvd++
 				return m, true
@@ -221,11 +353,12 @@ func (t *transport) Recv(src, tag int) cluster.Message {
 	if m, ok := t.takePending(src, tag); ok {
 		return m
 	}
+	t.flushAll() // about to block: everything we owe the mesh goes out first
 	before := time.Now()
 	defer func() { t.commSec += time.Since(before).Seconds() }()
 	for {
 		m := <-t.inbox
-		m.DeliveredAt = t.Now()
+		t.popped(&m)
 		if matches(m, src, tag) {
 			t.msgsRecvd++
 			return m
@@ -238,6 +371,7 @@ func (t *transport) RecvDeadline(src, tag int, timeout float64) (cluster.Message
 	if m, ok := t.takePending(src, tag); ok {
 		return m, true
 	}
+	t.flushAll() // about to block: everything we owe the mesh goes out first
 	before := time.Now()
 	defer func() { t.commSec += time.Since(before).Seconds() }()
 	deadline := before.Add(time.Duration(timeout * float64(time.Second)))
@@ -250,7 +384,7 @@ func (t *transport) RecvDeadline(src, tag int, timeout float64) (cluster.Message
 		select {
 		case m := <-t.inbox:
 			timer.Stop()
-			m.DeliveredAt = t.Now()
+			t.popped(&m)
 			if matches(m, src, tag) {
 				t.msgsRecvd++
 				return m, true
@@ -294,22 +428,30 @@ func (t *transport) NetStats() cluster.NetStats {
 	}
 }
 
-// reader pumps one peer link into the shared inbox until the link dies.
+// reader pumps one peer link into the shared inbox until the link dies. A
+// persistent Decoder carries the link's payload buffer and — when delta
+// coding is negotiated — its per-stream bases across frames. Payload rows
+// are freshly allocated per message (Reuse off): the engine adopts them.
 func (t *transport) reader(pc *peerConn) {
-	br := bufio.NewReaderSize(pc.conn, 64<<10)
+	dec := NewDecoder(bufio.NewReaderSize(pc.conn, 64<<10))
+	dec.Track = t.wire.Delta // we advertised CapDelta iff the spec asks for delta
+	var f Frame
 	for {
-		f, err := readFrame(br)
-		if err != nil {
+		if err := dec.Decode(&f); err != nil {
 			pc.down.Store(true)
 			return
 		}
 		pc.touch()
 		switch f.Type {
 		case FrameData:
-			select {
-			case t.inbox <- f.Msg:
-			case <-pc.stop:
+			if !t.deliver(pc, f.Msg) {
 				return
+			}
+		case FrameBatch:
+			for _, m := range f.Batch {
+				if !t.deliver(pc, m) {
+					return
+				}
 			}
 		case FrameHeartbeat:
 			// touch above is the whole point
@@ -322,8 +464,50 @@ func (t *transport) reader(pc *peerConn) {
 	}
 }
 
-// close tears down every peer link and cancels injector-held sends.
+// deliver hands one received message to the engine's inbox, reporting false
+// when the link is being torn down.
+func (t *transport) deliver(pc *peerConn, m cluster.Message) bool {
+	select {
+	case t.inbox <- m:
+		return true
+	case <-pc.stop:
+		return false
+	}
+}
+
+// framesSentTotal sums the physical frames written across all peer links.
+func (t *transport) framesSentTotal() int {
+	n := int64(0)
+	for _, pc := range t.peers {
+		if pc != nil {
+			n += pc.framesSent.Load()
+		}
+	}
+	return int(n)
+}
+
+// latPercentile returns the q-quantile of the collected delivery latencies
+// (sorting in place on first use).
+func latPercentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// close tears down every peer link and cancels injector-held sends, pushing
+// any still-pending batches out first (shutdown must not strand messages a
+// slower peer is waiting for).
 func (t *transport) close() {
+	if t.lingerStop != nil {
+		select {
+		case <-t.lingerStop:
+		default:
+			close(t.lingerStop)
+		}
+	}
+	t.flushAll()
 	t.timersMu.Lock()
 	t.closed = true
 	timers := t.timers
@@ -382,9 +566,11 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	coord := newPeerConn(-1, coordRaw, 64)
+	coord := newPeerConn(-1, coordRaw, 64, wireOpts{})
 	defer coord.close()
-	coord.send(Frame{Type: FrameHello, Rank: -1, Epoch: cfg.Epoch, Addr: ln.Addr().String()})
+	// The coordinator link is control plane — no batching — but the hello
+	// still advertises the build's full capability set.
+	coord.send(Frame{Type: FrameHello, Rank: -1, Epoch: cfg.Epoch, Addr: ln.Addr().String(), Caps: CapBatch | CapDelta})
 
 	// The config frame assigns our rank and carries the membership + spec.
 	cf, err := readConfig(coordRaw, cfg.DialTimeout)
@@ -410,7 +596,17 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 		inbox:     make(chan cluster.Message, p*(spec.MaxIter+16)),
 		inj:       faults.NewInjector(cfg.Faults, cfg.FaultSeed),
 		procs:     p,
+		wire:      spec.Wire,
 		hbTimeout: cfg.HeartbeatTimeout,
+	}
+	if !spec.Wire.NoBatch {
+		tr.pend = make([][]cluster.Message, p)
+		for i := range tr.pend {
+			tr.pend[i] = getBatch()
+		}
+		tr.pendBytes = make([]int, p)
+		tr.pendSince = make([]time.Time, p)
+		tr.lingerStop = make(chan struct{})
 	}
 	if err := tr.connectMesh(ln, wc.Peers, cfg, outCap); err != nil {
 		tr.close()
@@ -423,6 +619,9 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 		}
 		go tr.reader(pc)
 		go pc.heartbeater(cfg.HeartbeatEvery)
+	}
+	if tr.lingerStop != nil {
+		go tr.lingerLoop()
 	}
 
 	// Control-plane reader for the coordinator link.
@@ -493,11 +692,23 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 	ecfg := spec.CoreConfig(reg, journal, store)
 
 	tr.start = time.Now()
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	res, runErr := core.Run(tr, app, ecfg)
+	runtime.ReadMemStats(&msAfter)
 	wall := time.Since(tr.start)
 	if runErr != nil {
 		tr.close()
 		return nil, fmt.Errorf("distnet: rank %d engine: %w", rank, runErr)
+	}
+
+	// Wire-plane throughput measures for the soak harness: delivery-latency
+	// percentiles, physical frame count (batching ⇒ frames ≪ messages), and
+	// whole-process allocations per message over the run.
+	sort.Float64s(tr.lat)
+	allocsPerMsg := 0.0
+	if n := tr.msgsSent + tr.msgsRecvd; n > 0 {
+		allocsPerMsg = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(n)
 	}
 
 	// Report the outcome, then hold the mesh open until the coordinator
@@ -509,7 +720,12 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 		Repairs: res.Stats.Repairs, Overruns: res.Stats.Overruns,
 		WallSec: wall.Seconds(), CommSec: res.Stats.CommTime,
 		MsgsSent: res.Stats.Net.MsgsSent, BytesSent: res.Stats.Net.BytesSent,
-		Final: res.Final,
+		MsgsRecvd:    tr.msgsRecvd,
+		FramesSent:   tr.framesSentTotal(),
+		LatP50Sec:    latPercentile(tr.lat, 0.50),
+		LatP99Sec:    latPercentile(tr.lat, 0.99),
+		AllocsPerMsg: allocsPerMsg,
+		Final:        res.Final,
 	})})
 	select {
 	case <-shutdownCh:
@@ -538,29 +754,27 @@ func readConfig(conn net.Conn, timeout time.Duration) (Frame, error) {
 
 // connectMesh establishes one TCP link per peer pair: this node dials every
 // lower rank (which is already listening) and accepts one connection from
-// every higher rank, each link opening with a hello frame.
+// every higher rank. Each link opens with a hello exchange — the dialer
+// introduces itself, the acceptor replies with its own hello — so both
+// sides learn the peer's capability mask and the link's frame shape
+// (batching, delta) is the negotiated intersection.
 func (t *transport) connectMesh(ln net.Listener, peers []string, cfg NodeConfig, outCap int) error {
 	rank, p := t.rank, t.p
+	caps := localCaps(t.wire)
+	myHello := Frame{Type: FrameHello, Rank: rank, Epoch: t.epoch, Addr: peers[rank], Caps: caps}
 
 	type dialed struct {
 		rank int
 		conn net.Conn
+		caps uint32
 		err  error
 	}
 	ch := make(chan dialed, p)
 	for j := 0; j < rank; j++ {
 		j := j
 		go func() {
-			conn, err := dialRetry(peers[j], cfg.DialTimeout, cfg.Logf)
-			if err == nil {
-				var scratch []byte
-				hello := Frame{Type: FrameHello, Rank: rank, Epoch: t.epoch, Addr: peers[rank]}
-				if _, werr := writeFrame(conn, scratch, &hello); werr != nil {
-					conn.Close()
-					err = fmt.Errorf("distnet: hello to rank %d: %w", j, werr)
-				}
-			}
-			ch <- dialed{rank: j, conn: conn, err: err}
+			conn, capsJ, err := t.dialPeer(peers[j], j, myHello, cfg)
+			ch <- dialed{rank: j, conn: conn, caps: capsJ, err: err}
 		}()
 	}
 
@@ -590,7 +804,12 @@ func (t *transport) connectMesh(ln net.Listener, peers []string, cfg NodeConfig,
 				acceptErr <- fmt.Errorf("distnet: duplicate connection from rank %d", hello.Rank)
 				return
 			}
-			t.peers[hello.Rank] = newPeerConn(hello.Rank, conn, outCap)
+			if _, err := writeFrame(conn, nil, &myHello); err != nil {
+				conn.Close()
+				acceptErr <- fmt.Errorf("distnet: hello reply to rank %d: %w", hello.Rank, err)
+				return
+			}
+			t.peers[hello.Rank] = newPeerConn(hello.Rank, conn, outCap, linkOpts(t.wire, hello.Caps))
 		}
 		acceptErr <- nil
 	}()
@@ -604,12 +823,61 @@ func (t *transport) connectMesh(ln net.Listener, peers []string, cfg NodeConfig,
 			}
 			continue
 		}
-		t.peers[d.rank] = newPeerConn(d.rank, d.conn, outCap)
+		t.peers[d.rank] = newPeerConn(d.rank, d.conn, outCap, linkOpts(t.wire, d.caps))
 	}
 	if err := <-acceptErr; err != nil && firstErr == nil {
 		firstErr = err
 	}
 	return firstErr
+}
+
+// dialPeer dials rank j, sends our hello and reads the reply, returning the
+// peer's capability mask. The error taxonomy is load-bearing here: a reply
+// cut off mid-frame (io.ErrUnexpectedEOF — the peer was tearing down a
+// half-open accept, or the connection raced its listener) is retried on a
+// fresh connection within the dial budget, while a corrupt reply
+// (ErrCorrupt — wrong process, protocol desync) fails the mesh immediately.
+func (t *transport) dialPeer(addr string, j int, myHello Frame, cfg NodeConfig) (net.Conn, uint32, error) {
+	deadline := time.Now().Add(cfg.DialTimeout)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, 0, fmt.Errorf("distnet: hello exchange with rank %d: %w", j, lastErr)
+		}
+		conn, err := dialRetry(addr, remain, cfg.Logf)
+		if err != nil {
+			return nil, 0, err
+		}
+		if _, err := writeFrame(conn, nil, &myHello); err != nil {
+			conn.Close()
+			return nil, 0, fmt.Errorf("distnet: hello to rank %d: %w", j, err)
+		}
+		reply, err := readHello(conn, time.Until(deadline))
+		if err == nil {
+			if reply.Rank != j {
+				conn.Close()
+				return nil, 0, fmt.Errorf("distnet: dialed rank %d but got hello from rank %d", j, reply.Rank)
+			}
+			return conn, reply.Caps, nil
+		}
+		conn.Close()
+		if errors.Is(err, ErrCorrupt) {
+			return nil, 0, err // desynchronized stream: fatal, never retried
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) && !isTimeout(err) {
+			return nil, 0, err
+		}
+		lastErr = err
+		time.Sleep(time.Duration(25<<min(attempt, 5)) * time.Millisecond)
+	}
+}
+
+// isTimeout reports whether err is a network timeout (deadline expiry on
+// the hello read — retryable within the dial budget).
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // setAcceptDeadline applies a deadline when the listener supports it.

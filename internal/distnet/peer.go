@@ -10,6 +10,7 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -51,35 +52,74 @@ func dialRetry(addr string, total time.Duration, logf func(string, ...any)) (net
 	}
 }
 
+// wireOpts is the per-link frame shape negotiated from the hello exchange:
+// the intersection of what this side wants and what the peer advertised.
+type wireOpts struct {
+	batch bool // peer decodes FrameBatch
+	delta bool // peer decodes delta-coded batch entries
+}
+
+// linkOpts intersects the local wire configuration with a peer's advertised
+// capability mask.
+func linkOpts(w WireSpec, remoteCaps uint32) wireOpts {
+	return wireOpts{
+		batch: !w.NoBatch && remoteCaps&CapBatch != 0,
+		delta: w.Delta && remoteCaps&CapDelta != 0,
+	}
+}
+
+// localCaps is the capability mask this side advertises in its hellos.
+func localCaps(w WireSpec) uint32 {
+	caps := CapBatch
+	if w.Delta {
+		caps |= CapDelta
+	}
+	return caps
+}
+
 // peerConn is one live link to a peer (or to the coordinator, rank -1).
 type peerConn struct {
 	rank int
 	conn net.Conn
+	opts wireOpts
 
-	// out feeds the writer goroutine. Data frames block when full (TCP
-	// backpressure, propagated to the engine); heartbeats are dropped
-	// instead — a congested link is proving liveness already.
+	// out feeds the writer goroutine. Sends block when full — TCP
+	// backpressure, propagated to the engine. Liveness never competes with
+	// this queue: every outbound frame refreshes the peer's staleness
+	// clock, and explicit heartbeats are only emitted on idle links.
 	out  chan Frame
-	stop chan struct{} // closed once, tears the writer down
+	stop chan struct{} // closed once (via closeOnce), tears the writer down
 	done chan struct{} // closed by the writer on exit
+
+	closeOnce sync.Once
 
 	// lastSeen is the unix-nano receive time of the most recent frame,
 	// maintained by the owner's reader; it feeds heartbeat-staleness
 	// detection.
 	lastSeen atomic.Int64
+	// lastSent is the unix-nano enqueue time of the most recent outbound
+	// frame; the heartbeater skips beacons while data traffic is already
+	// proving liveness (piggybacked heartbeats).
+	lastSent atomic.Int64
+	// framesSent counts frames written to the socket, for observability
+	// (batching shows up as framesSent ≪ messages sent).
+	framesSent atomic.Int64
 	// down latches on a hard read/write error or remote close.
 	down atomic.Bool
 }
 
-func newPeerConn(rank int, conn net.Conn, outCap int) *peerConn {
+func newPeerConn(rank int, conn net.Conn, outCap int, opts wireOpts) *peerConn {
 	pc := &peerConn{
 		rank: rank,
 		conn: conn,
+		opts: opts,
 		out:  make(chan Frame, outCap),
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
-	pc.lastSeen.Store(time.Now().UnixNano())
+	now := time.Now().UnixNano()
+	pc.lastSeen.Store(now)
+	pc.lastSent.Store(now)
 	go pc.writer()
 	return pc
 }
@@ -91,35 +131,35 @@ func (pc *peerConn) send(f Frame) {
 	if pc.down.Load() {
 		return
 	}
+	pc.lastSent.Store(time.Now().UnixNano())
 	select {
 	case pc.out <- f:
 	case <-pc.stop:
 	}
 }
 
-// sendHeartbeat is send with drop-on-congestion semantics.
-func (pc *peerConn) sendHeartbeat() {
-	if pc.down.Load() {
-		return
-	}
-	select {
-	case pc.out <- Frame{Type: FrameHeartbeat}:
-	default:
-	}
-}
-
 // writer drains the outgoing queue through one bufio.Writer, flushing
 // whenever the queue momentarily empties (message boundaries coalesce under
-// load, but nothing lingers unflushed).
+// load, but nothing lingers unflushed). Batch frames hand their message
+// slice back to the batch pool once encoded.
 func (pc *peerConn) writer() {
 	defer close(pc.done)
 	bw := bufio.NewWriterSize(pc.conn, 64<<10)
-	var scratch []byte
-	var err error
+	enc := NewEncoder(bw, pc.opts.delta)
+	write := func(f *Frame) error {
+		err := enc.Encode(f)
+		if f.Batch != nil {
+			releaseBatch(f.Batch)
+		}
+		if err == nil {
+			pc.framesSent.Add(1)
+		}
+		return err
+	}
 	for {
 		select {
 		case f := <-pc.out:
-			scratch, err = writeFrame(bw, scratch, &f)
+			err := write(&f)
 			if err == nil && len(pc.out) == 0 {
 				err = bw.Flush()
 			}
@@ -132,7 +172,7 @@ func (pc *peerConn) writer() {
 			for {
 				select {
 				case f := <-pc.out:
-					if scratch, err = writeFrame(bw, scratch, &f); err != nil {
+					if err := write(&f); err != nil {
 						pc.down.Store(true)
 						return
 					}
@@ -147,14 +187,15 @@ func (pc *peerConn) writer() {
 
 // close tears the link down: stops the writer (draining queued frames
 // first) and closes the socket. A short write deadline unblocks a writer
-// stuck flushing into a dead peer's full TCP window.
+// stuck flushing into a dead peer's full TCP window. Idempotent and safe to
+// race — the coordinator's shutdown broadcast and a node's own teardown may
+// both reach a link; every caller blocks until the writer has exited and
+// the socket is closed.
 func (pc *peerConn) close() {
-	_ = pc.conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
-	select {
-	case <-pc.stop:
-	default:
+	pc.closeOnce.Do(func() {
+		_ = pc.conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
 		close(pc.stop)
-	}
+	})
 	<-pc.done
 	_ = pc.conn.Close()
 }
@@ -174,9 +215,14 @@ func (pc *peerConn) alive(timeout time.Duration) bool {
 // touch records frame receipt for staleness detection.
 func (pc *peerConn) touch() { pc.lastSeen.Store(time.Now().UnixNano()) }
 
-// heartbeater emits liveness beacons every interval until stop closes.
-// Receiving any frame counts as liveness, so data-heavy links never pay for
-// extra beacons (the queue-full drop in sendHeartbeat).
+// heartbeater emits liveness beacons every interval until stop closes —
+// but only on idle links. Any outbound frame within the last interval
+// already refreshes the peer's staleness clock (piggybacked liveness), so
+// a link saturated with data pays nothing; and when a beacon is due, it is
+// enqueued with the same blocking semantics as data. A backpressured link
+// thus delivers its beacon as soon as the queue drains instead of silently
+// starving its own liveness — the failure mode the old drop-on-congestion
+// beacons had.
 func (pc *peerConn) heartbeater(interval time.Duration) {
 	if interval <= 0 {
 		return
@@ -186,7 +232,10 @@ func (pc *peerConn) heartbeater(interval time.Duration) {
 	for {
 		select {
 		case <-t.C:
-			pc.sendHeartbeat()
+			if time.Since(time.Unix(0, pc.lastSent.Load())) < interval {
+				continue // data traffic is the heartbeat
+			}
+			pc.send(Frame{Type: FrameHeartbeat})
 		case <-pc.stop:
 			return
 		}

@@ -53,6 +53,30 @@ type RunSpec struct {
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
 	// HoldSends forwards the speculative-send ablation switch.
 	HoldSends bool `json:"hold_sends,omitempty"`
+	// Wire tunes the data-plane framing (batching, delta coding, flush
+	// policy). The zero value means defaults: batching on, delta off.
+	Wire WireSpec `json:"wire,omitempty"`
+}
+
+// WireSpec tunes the distnet data plane. It travels inside the RunSpec so
+// the whole mesh agrees on framing policy; per-link shape is still
+// negotiated via hello capability masks, so mismatched builds degrade to
+// single-message frames.
+type WireSpec struct {
+	// NoBatch disables multi-message frames (the per-message baseline the
+	// benchmarks compare against).
+	NoBatch bool `json:"no_batch,omitempty"`
+	// Delta enables delta coding of consecutive same-stream vectors inside
+	// batch frames (negotiated per link via CapDelta).
+	Delta bool `json:"delta,omitempty"`
+	// MaxBatchMsgs flushes a pending batch at this many messages.
+	MaxBatchMsgs int `json:"max_batch_msgs,omitempty"`
+	// MaxBatchBytes flushes a pending batch at this many payload bytes.
+	MaxBatchBytes int `json:"max_batch_bytes,omitempty"`
+	// LingerUS bounds how long a pending batch may wait for company, in
+	// microseconds. Blocking receives flush eagerly, so linger only delays
+	// messages the sender is still working past.
+	LingerUS int `json:"linger_us,omitempty"`
 }
 
 // Normalize fills defaults and validates; the coordinator calls it once
@@ -72,6 +96,15 @@ func (s *RunSpec) Normalize() error {
 	}
 	if s.Theta <= 0 {
 		s.Theta = 1e-3
+	}
+	if s.Wire.MaxBatchMsgs <= 0 {
+		s.Wire.MaxBatchMsgs = 32
+	}
+	if s.Wire.MaxBatchBytes <= 0 {
+		s.Wire.MaxBatchBytes = 48 << 10
+	}
+	if s.Wire.LingerUS <= 0 {
+		s.Wire.LingerUS = 150
 	}
 	switch s.App {
 	case "heat":
@@ -165,19 +198,25 @@ type wireConfig struct {
 
 // resultMsg is the body of a FrameResult.
 type resultMsg struct {
-	Rank      int       `json:"rank"`
-	HTTP      string    `json:"http,omitempty"` // node's live obs endpoint, if served
-	Converged bool      `json:"converged"`
-	Iters     int       `json:"iters"`
-	SpecsMade int       `json:"specs_made"`
-	SpecsBad  int       `json:"specs_bad"`
-	Repairs   int       `json:"repairs"`
-	Overruns  int       `json:"overruns"`
-	WallSec   float64   `json:"wall_sec"`
-	CommSec   float64   `json:"comm_sec"`
-	MsgsSent  int       `json:"msgs_sent"`
-	BytesSent int       `json:"bytes_sent"`
-	Final     []float64 `json:"final"`
+	Rank      int     `json:"rank"`
+	HTTP      string  `json:"http,omitempty"` // node's live obs endpoint, if served
+	Converged bool    `json:"converged"`
+	Iters     int     `json:"iters"`
+	SpecsMade int     `json:"specs_made"`
+	SpecsBad  int     `json:"specs_bad"`
+	Repairs   int     `json:"repairs"`
+	Overruns  int     `json:"overruns"`
+	WallSec   float64 `json:"wall_sec"`
+	CommSec   float64 `json:"comm_sec"`
+	MsgsSent  int     `json:"msgs_sent"`
+	BytesSent int     `json:"bytes_sent"`
+	// Wire-plane throughput measures (the soak harness aggregates these).
+	MsgsRecvd    int       `json:"msgs_recvd,omitempty"`
+	FramesSent   int       `json:"frames_sent,omitempty"`
+	LatP50Sec    float64   `json:"lat_p50_sec,omitempty"`
+	LatP99Sec    float64   `json:"lat_p99_sec,omitempty"`
+	AllocsPerMsg float64   `json:"allocs_per_msg,omitempty"`
+	Final        []float64 `json:"final"`
 }
 
 func encodeJSON(v any) []byte {

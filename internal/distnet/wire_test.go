@@ -18,6 +18,7 @@ func randFrame(rng *rand.Rand) Frame {
 	types := []FrameType{
 		FrameData, FrameHello, FrameConfig, FrameHeartbeat,
 		FrameBarrier, FrameCheckpoint, FrameResult, FrameShutdown,
+		FrameBatch,
 	}
 	f := Frame{Type: types[rng.Intn(len(types))]}
 	randBlob := func() []byte {
@@ -25,9 +26,8 @@ func randFrame(rng *rand.Rand) Frame {
 		rng.Read(b)
 		return b
 	}
-	switch f.Type {
-	case FrameData:
-		f.Msg = cluster.Message{
+	randMsg := func() cluster.Message {
+		m := cluster.Message{
 			Src:    rng.Intn(64) - 1, // cluster.Any = -1 must survive
 			Dst:    rng.Intn(64) - 1,
 			Tag:    rng.Intn(8) - 1,
@@ -39,24 +39,35 @@ func randFrame(rng *rand.Rand) Frame {
 		case 0:
 			// nil payload (engine barrier/rejoin-ack messages)
 		case 1:
-			f.Msg.Data = []float64{} // empty-but-non-nil must also survive
+			m.Data = []float64{} // empty-but-non-nil must also survive
 		default:
-			f.Msg.Data = make([]float64, 1+rng.Intn(300))
-			for i := range f.Msg.Data {
+			m.Data = make([]float64, 1+rng.Intn(300))
+			for i := range m.Data {
 				switch rng.Intn(8) {
 				case 0:
-					f.Msg.Data[i] = math.Inf(1)
+					m.Data[i] = math.Inf(1)
 				case 1:
-					f.Msg.Data[i] = 0
+					m.Data[i] = 0
 				default:
-					f.Msg.Data[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(40)-20))
+					m.Data[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(40)-20))
 				}
 			}
+		}
+		return m
+	}
+	switch f.Type {
+	case FrameData:
+		f.Msg = randMsg()
+	case FrameBatch:
+		f.Batch = make([]cluster.Message, 1+rng.Intn(8))
+		for i := range f.Batch {
+			f.Batch[i] = randMsg()
 		}
 	case FrameHello:
 		f.Rank = rng.Intn(18) - 2 // -1 = unassigned must survive
 		f.Epoch = rng.Intn(5)
 		f.Addr = string(randBlob())
+		f.Caps = rng.Uint32() & (CapBatch | CapDelta)
 	case FrameConfig, FrameResult:
 		f.Blob = randBlob()
 	case FrameCheckpoint:

@@ -12,6 +12,13 @@ package faults
 // Unlike the simulation, a real run has concurrent senders (delayed copies
 // are re-enqueued from timer goroutines), so Plan serializes access to the
 // model's RNG and any model state behind a mutex.
+//
+// Injection is per logical message, not per physical frame: when the
+// transport coalesces messages into batch frames, each message is planned
+// through the model individually before it joins a batch (and delayed
+// copies ship as their own single-message frames), so a fault plan is
+// identical whether or not batching is enabled — the parity
+// TestBatchFaultParity pins.
 
 import (
 	"math/rand"
