@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short bench bench-core race distributed fuzz-wire soak soak-short results results-ext faults chaos metrics cover fmt vet lint examples
+.PHONY: all build test test-short bench bench-core race distributed fuzz-wire soak soak-short obs-fleet results results-ext faults chaos metrics cover fmt vet lint examples
 
 all: build vet test
 
@@ -49,7 +49,7 @@ bench: bench-core
 # run fails if any benchmark's allocs/op regresses above the committed
 # baseline; Soak* series already in the file are preserved.
 bench-core:
-	go test -run '^$$' -bench 'EngineIteration|ComputeKernel|LoopbackRoundTrip|LinkThroughput' -benchmem \
+	go test -run '^$$' -bench 'EngineIteration|ComputeKernel|LoopbackRoundTrip|LinkThroughput|WireInstrumentation' -benchmem \
 		./internal/core ./internal/apps/... ./internal/distnet \
 		| go run ./cmd/benchjson -baseline BENCH_core.json -o BENCH_core.json
 	@echo "wrote BENCH_core.json"
@@ -63,6 +63,15 @@ soak:
 # CI-sized soak: 16 processes, no baseline write — a pass/fail scale check.
 soak-short:
 	go run ./cmd/specsoak -procs 16 -iters 80 -chaos
+
+# Fleet observability gate: a real 4-process cluster with the aggregated
+# metrics plane and cross-process tracing on. -selfcheck fails the run if
+# the merged exposition drops a rank or collides series; the trace merge
+# fails if any node's journal went missing.
+obs-fleet:
+	go run ./cmd/speccoord -spawn -procs 4 -iters 120 -obs-push-ms 50 \
+		-selfcheck -trace-out /tmp/fleet-trace.json -timeout 120s
+	@echo "wrote /tmp/fleet-trace.json"
 
 # Regenerate the canonical paper reproduction (results_full.txt).
 results:

@@ -8,6 +8,7 @@
 //	speccoord [-addr host:port] [-app heat|jacobi] [-procs P] [-iters N]
 //	          [-fw W] [-theta θ] [-rows R] [-cols C] [-n N] [-tol T]
 //	          [-checkpoint K] [-delta] [-nobatch] [-spawn] [-http] [-timeout d]
+//	          [-fleet host:port] [-job name] [-trace-out file] [-selfcheck] [-hold d]
 //
 // With -spawn, speccoord launches the P node processes itself on
 // 127.0.0.1 (re-executing its own binary in node mode) — a whole
@@ -17,6 +18,15 @@
 //
 // Without -spawn it prints its address and waits for externally started
 // specnodes (same machine or remote).
+//
+// The fleet plane: -fleet serves ONE aggregated Prometheus endpoint for the
+// whole run (every node's series re-labelled with job/node) plus a /fleet
+// JSON status view; nodes push snapshots to the coordinator over their
+// existing control connection, so there is a single scrape target no matter
+// how many processes the run spans. -trace-out merges the per-node run
+// journals into one time-aligned Chrome/Perfetto trace in which a
+// speculation's predict/send/deliver/check spans from different OS
+// processes appear as one linked flow.
 package main
 
 import (
@@ -24,34 +34,43 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	nethttp "net/http"
 	"os"
 	"os/exec"
 	"time"
 
 	"specomp/internal/distnet"
+	"specomp/internal/trace"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:0", "coordinator listen address")
-		app     = flag.String("app", "heat", "application: heat or jacobi")
-		procs   = flag.Int("procs", 4, "number of node processes")
-		iters   = flag.Int("iters", 200, "maximum iterations")
-		fw      = flag.Int("fw", 2, "forward speculation window")
-		bw      = flag.Int("bw", 0, "backward window (0 = predictor default)")
-		theta   = flag.Float64("theta", 1e-3, "speculation acceptance threshold θ")
-		rows    = flag.Int("rows", 48, "heat grid rows")
-		cols    = flag.Int("cols", 32, "heat grid columns")
-		n       = flag.Int("n", 64, "jacobi system size")
-		tol     = flag.Float64("tol", 0, "jacobi convergence tolerance (0 = run all iterations)")
-		seed    = flag.Int64("seed", 1, "problem seed (jacobi)")
-		ckpt    = flag.Int("checkpoint", 0, "checkpoint every K iterations (0 = off)")
-		delta   = flag.Bool("delta", false, "enable the delta codec on batch frames")
-		nobatch = flag.Bool("nobatch", false, "disable frame batching (per-message wire baseline)")
-		spawn   = flag.Bool("spawn", false, "launch the node processes locally")
-		http    = flag.Bool("http", false, "spawned nodes serve /metrics and /journal on ephemeral ports")
-		timeout = flag.Duration("timeout", 5*time.Minute, "overall run timeout")
-		jsonOut = flag.Bool("json", false, "print the reports as JSON instead of a table")
+		addr      = flag.String("addr", "127.0.0.1:0", "coordinator listen address")
+		app       = flag.String("app", "heat", "application: heat or jacobi")
+		procs     = flag.Int("procs", 4, "number of node processes")
+		iters     = flag.Int("iters", 200, "maximum iterations")
+		fw        = flag.Int("fw", 2, "forward speculation window")
+		bw        = flag.Int("bw", 0, "backward window (0 = predictor default)")
+		theta     = flag.Float64("theta", 1e-3, "speculation acceptance threshold θ")
+		rows      = flag.Int("rows", 48, "heat grid rows")
+		cols      = flag.Int("cols", 32, "heat grid columns")
+		n         = flag.Int("n", 64, "jacobi system size")
+		tol       = flag.Float64("tol", 0, "jacobi convergence tolerance (0 = run all iterations)")
+		seed      = flag.Int64("seed", 1, "problem seed (jacobi)")
+		ckpt      = flag.Int("checkpoint", 0, "checkpoint every K iterations (0 = off)")
+		delta     = flag.Bool("delta", false, "enable the delta codec on batch frames")
+		nobatch   = flag.Bool("nobatch", false, "disable frame batching (per-message wire baseline)")
+		spawn     = flag.Bool("spawn", false, "launch the node processes locally")
+		http      = flag.Bool("http", false, "spawned nodes serve /metrics and /journal on ephemeral ports")
+		timeout   = flag.Duration("timeout", 5*time.Minute, "overall run timeout")
+		jsonOut   = flag.Bool("json", false, "print the reports as JSON instead of a table")
+		fleetAddr = flag.String("fleet", "127.0.0.1:0", "aggregated fleet /metrics + /fleet listen address (empty = off)")
+		job       = flag.String("job", "", "job label on aggregated fleet metrics (default: the app name)")
+		traceOut  = flag.String("trace-out", "", "write the merged cross-process speculation trace (Chrome JSON) here")
+		selfcheck = flag.Bool("selfcheck", false, "after the run, validate the aggregated exposition (all ranks present, no duplicate series)")
+		obsPush   = flag.Int("obs-push-ms", 0, "metrics push period in ms (0 = 500ms default, negative = off)")
+		hold      = flag.Duration("hold", 0, "keep the fleet endpoint up this long after the run (for scraping)")
 
 		// Node mode, used by -spawn to re-execute this binary as a specnode.
 		join = flag.String("join", "", "internal: run as a node against this coordinator")
@@ -80,10 +99,29 @@ func main() {
 		App: *app, Procs: *procs, MaxIter: *iters, FW: *fw, BW: *bw,
 		Theta: *theta, Rows: *rows, Cols: *cols, N: *n, Tol: *tol,
 		Seed: *seed, CheckpointEvery: *ckpt,
-		Wire: distnet.WireSpec{Delta: *delta, NoBatch: *nobatch},
+		Wire:      distnet.WireSpec{Delta: *delta, NoBatch: *nobatch},
+		Job:       *job,
+		ObsPushMS: *obsPush,
+		Trace:     *traceOut != "",
 	}
+
+	// The fleet metrics plane: one aggregated endpoint for the whole run.
+	var fleet *distnet.FleetObs
+	if *fleetAddr != "" || *selfcheck {
+		fleet = distnet.NewFleetObs(*job)
+	}
+	if fleet != nil && *fleetAddr != "" {
+		ln, err := net.Listen("tcp", *fleetAddr)
+		if err != nil {
+			logger.Fatalf("fleet listener: %v", err)
+		}
+		defer ln.Close()
+		go func() { _ = nethttp.Serve(ln, fleet.Handler()) }()
+		fmt.Printf("fleet metrics on http://%s/metrics (status: /fleet)\n", ln.Addr())
+	}
+
 	coord, err := distnet.NewCoordinator(distnet.CoordConfig{
-		Addr: *addr, Spec: spec, Timeout: *timeout,
+		Addr: *addr, Spec: spec, Timeout: *timeout, Fleet: fleet,
 		Logf: func(format string, args ...any) { logger.Printf(format, args...) },
 	})
 	if err != nil {
@@ -121,22 +159,51 @@ func main() {
 		logger.Fatalf("%v", err)
 	}
 
+	if *selfcheck {
+		if err := fleet.SelfCheck(coord.Spec().Procs); err != nil {
+			logger.Fatalf("fleet selfcheck: %v", err)
+		}
+		logger.Printf("fleet selfcheck passed: %d ranks aggregated, no duplicate series", coord.Spec().Procs)
+	}
+	if *traceOut != "" {
+		journals := distnet.FleetJournals(reports)
+		if len(journals) < coord.Spec().Procs {
+			logger.Fatalf("trace merge: only %d/%d nodes shipped a journal", len(journals), coord.Spec().Procs)
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			logger.Fatalf("trace-out: %v", err)
+		}
+		if err := trace.WriteFleetTrace(f, journals); err != nil {
+			logger.Fatalf("trace-out: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			logger.Fatalf("trace-out: %v", err)
+		}
+		logger.Printf("wrote merged trace of %d processes to %s (load in ui.perfetto.dev)", len(journals), *traceOut)
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(reports); err != nil {
 			logger.Fatalf("%v", err)
 		}
-		return
-	}
-	fmt.Printf("%-4s %-21s %-9s %6s %6s %5s %7s %8s %9s %10s\n",
-		"rank", "addr", "converged", "iters", "specs", "bad", "repairs", "wall", "msgs", "bytes")
-	for _, r := range reports {
-		fmt.Printf("%-4d %-21s %-9v %6d %6d %5d %7d %7.3fs %9d %10d\n",
-			r.Rank, r.Addr, r.Converged, r.Iters, r.SpecsMade, r.SpecsBad,
-			r.Repairs, r.WallSec, r.MsgsSent, r.BytesSent)
-		if r.HTTP != "" {
-			fmt.Printf("     └─ served http://%s/metrics and /journal during the run\n", r.HTTP)
+	} else {
+		fmt.Printf("%-4s %-21s %-9s %6s %6s %5s %7s %8s %9s %10s\n",
+			"rank", "addr", "converged", "iters", "specs", "bad", "repairs", "wall", "msgs", "bytes")
+		for _, r := range reports {
+			fmt.Printf("%-4d %-21s %-9v %6d %6d %5d %7d %7.3fs %9d %10d\n",
+				r.Rank, r.Addr, r.Converged, r.Iters, r.SpecsMade, r.SpecsBad,
+				r.Repairs, r.WallSec, r.MsgsSent, r.BytesSent)
+			if r.HTTP != "" {
+				fmt.Printf("     └─ served http://%s/metrics and /journal during the run\n", r.HTTP)
+			}
 		}
+	}
+
+	if *hold > 0 && fleet != nil && *fleetAddr != "" {
+		logger.Printf("holding the fleet endpoint open for %v", *hold)
+		time.Sleep(*hold)
 	}
 }

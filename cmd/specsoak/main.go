@@ -9,10 +9,14 @@
 // Usage:
 //
 //	specsoak [-procs 64] [-iters 150] [-chaos] [-delta] [-nobatch]
-//	         [-o BENCH_core.json] [-timeout 5m]
+//	         [-journal-dir DIR] [-o BENCH_core.json] [-timeout 5m]
 //
 // With -o, the soak series are merged into the existing report (other
-// series are kept); without it the summary only prints.
+// series are kept); without it the summary only prints. The coordinator
+// aggregates every node's metrics snapshots (the fleet plane), so the soak
+// also records fleet-level wire series — mean batch occupancy and delta
+// compression ratio — that no single process can see. -journal-dir makes
+// every node stream its run journal to a size-capped JSONL file there.
 package main
 
 import (
@@ -56,6 +60,8 @@ func main() {
 		nobatch = flag.Bool("nobatch", false, "disable frame batching (per-message baseline)")
 		out     = flag.String("o", "", "merge Soak* series into this benchfmt report (e.g. BENCH_core.json)")
 		timeout = flag.Duration("timeout", 5*time.Minute, "overall run timeout")
+		jdir    = flag.String("journal-dir", "", "stream each node's run journal to node-R.jsonl under this directory")
+		jmax    = flag.Int64("journal-max", 64<<20, "per-node journal size cap in bytes before rotation")
 
 		// Node mode, used internally to re-execute this binary as one rank.
 		join = flag.String("join", "", "internal: run as a node against this coordinator")
@@ -65,7 +71,7 @@ func main() {
 	logger := log.New(os.Stderr, "specsoak ", log.Ltime|log.Lmicroseconds)
 
 	if *join != "" {
-		cfg := distnet.NodeConfig{Coord: *join}
+		cfg := distnet.NodeConfig{Coord: *join, JournalDir: *jdir, JournalMaxBytes: *jmax}
 		if *seed != 0 {
 			cfg.Faults = chaosModel()
 			cfg.FaultSeed = *seed
@@ -83,8 +89,10 @@ func main() {
 		// from degenerating into trivial strips.
 		Rows: max(2*(*procs), 64), Cols: 32,
 		Wire: distnet.WireSpec{Delta: *delta, NoBatch: *nobatch},
+		Job:  "soak",
 	}
-	coord, err := distnet.NewCoordinator(distnet.CoordConfig{Spec: spec, Timeout: *timeout})
+	fleet := distnet.NewFleetObs("soak")
+	coord, err := distnet.NewCoordinator(distnet.CoordConfig{Spec: spec, Timeout: *timeout, Fleet: fleet})
 	if err != nil {
 		logger.Fatalf("%v", err)
 	}
@@ -101,6 +109,9 @@ func main() {
 		args := []string{"-join", coord.Addr()}
 		if *chaos {
 			args = append(args, "-seed", strconv.Itoa(1000+i))
+		}
+		if *jdir != "" {
+			args = append(args, "-journal-dir", *jdir, "-journal-max", strconv.FormatInt(*jmax, 10))
 		}
 		cmd := exec.Command(self, args...)
 		cmd.Stdout = os.Stderr
@@ -167,6 +178,25 @@ func main() {
 		p50Median*1e6, p99Worst*1e6)
 	fmt.Printf("  allocs    %.1f per message (whole process, mean rank)\n", allocMean)
 
+	// Fleet-level wire series from the aggregated metrics plane: mean batch
+	// occupancy (msgs per flushed batch) and delta compression ratio across
+	// every node's final snapshot — numbers no single process can report.
+	batchMean, deltaMean := 0.0, 0.0
+	tot, err := fleet.Totals()
+	if err != nil {
+		logger.Printf("fleet totals unavailable: %v", err)
+	} else {
+		if c := tot[distnet.MetricBatchOccupancy+"_count"]; c > 0 {
+			batchMean = tot[distnet.MetricBatchOccupancy+"_sum"] / c
+			fmt.Printf("  fleet     %.1f msgs/batch mean occupancy (%d nodes aggregated)\n",
+				batchMean, len(fleet.Ranks()))
+		}
+		if c := tot[distnet.MetricDeltaRatio+"_count"]; c > 0 {
+			deltaMean = tot[distnet.MetricDeltaRatio+"_sum"] / c
+			fmt.Printf("  fleet     %.2f delta compression ratio mean (coded/raw bytes)\n", deltaMean)
+		}
+	}
+
 	if *out == "" {
 		return
 	}
@@ -182,6 +212,16 @@ func main() {
 			Iters: int64(totalMsgs), NsPerOp: 1e9 * p99Worst},
 		{Pkg: "specomp/cmd/specsoak", Name: "SoakAllocsPerMsg" + suffix,
 			Iters: int64(totalMsgs), AllocsPerOp: int64(allocMean + 0.5)},
+	}
+	if batchMean > 0 {
+		// ns_per_op holds the raw mean (msgs per flushed batch) — a synthetic
+		// series under the shared schema, like the rate series above.
+		series = append(series, benchfmt.Result{Pkg: "specomp/cmd/specsoak",
+			Name: "SoakBatchOccupancy" + suffix, Iters: int64(totalFrames), NsPerOp: batchMean})
+	}
+	if deltaMean > 0 {
+		series = append(series, benchfmt.Result{Pkg: "specomp/cmd/specsoak",
+			Name: "SoakDeltaRatio" + suffix, Iters: int64(totalFrames), NsPerOp: deltaMean})
 	}
 	rep, err := benchfmt.Load(*out)
 	if err != nil && !os.IsNotExist(err) {

@@ -70,11 +70,13 @@ const (
 // streamKey identifies one sender→receiver message stream for delta coding.
 type streamKey struct{ src, dst, tag int }
 
-// deltaState is one side's per-stream vector bases plus codec scratch.
+// deltaState is one side's per-stream vector bases plus codec scratch and
+// (encoder side only) the link's compression instrumentation.
 type deltaState struct {
 	prev map[streamKey][]float64
 	xor  []byte // 8n XOR residual scratch
 	rle  []byte // RLE-coded residual scratch
+	lo   *linkObs
 }
 
 func newDeltaState() *deltaState {
@@ -165,11 +167,19 @@ func appendBatchEntry(dst []byte, m *cluster.Message, ds *deltaState) []byte {
 			}
 			ds.rle = rleAppend(ds.rle[:0], xb)
 			if len(ds.rle)+4 < 8*n { // strictly smaller than raw, or not worth it
+				if ds.lo != nil {
+					ds.lo.deltaEntries.Inc()
+					ds.lo.deltaRatio.Observe(float64(len(ds.rle)+4) / float64(8*n))
+				}
 				dst = appendU32(append(dst, encDelta), uint32(n))
 				dst = appendU32(dst, uint32(len(ds.rle)))
 				dst = append(dst, ds.rle...)
 				ds.note(key, m.Data)
 				return dst
+			}
+			if ds.lo != nil {
+				ds.lo.deltaFallback.Inc()
+				ds.lo.deltaRatio.Observe(1)
 			}
 		}
 		ds.note(key, m.Data)

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"specomp/internal/cluster"
+	"specomp/internal/obs"
 )
 
 // BenchmarkFrameEncode measures the codec alone: one data frame with a
@@ -134,8 +135,10 @@ func BenchmarkLoopbackRoundTrip(b *testing.B) {
 // timed region covers the whole pipe: encode, syscalls, wakeups, decode.
 // batchSize 1 writes one FrameData (and one syscall) per message — the
 // per-message baseline the writer goroutine degenerates to without
-// batching; batchSize k coalesces k messages per FrameBatch.
-func benchLinkThroughput(b *testing.B, batchSize int) {
+// batching; batchSize k coalesces k messages per FrameBatch. A non-nil lo
+// runs the sender with the wire-plane instrumentation attached, the way a
+// live node's writer goroutine does.
+func benchLinkThroughput(b *testing.B, batchSize int, lo *linkObs) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)
@@ -179,6 +182,7 @@ func benchLinkThroughput(b *testing.B, batchSize int) {
 	}
 	defer conn.Close()
 	enc := NewEncoder(conn, false)
+	enc.instrumentDelta(lo)
 
 	msg := cluster.Message{
 		Src: 0, Dst: 1, Tag: 1, SentAt: 0.5,
@@ -194,6 +198,7 @@ func benchLinkThroughput(b *testing.B, batchSize int) {
 			if err := enc.Encode(&f); err != nil {
 				b.Fatal(err)
 			}
+			lo.noteFrame()
 		}
 	} else {
 		f := Frame{Type: FrameBatch, Batch: make([]cluster.Message, 0, batchSize)}
@@ -205,6 +210,7 @@ func benchLinkThroughput(b *testing.B, batchSize int) {
 					b.Fatal(err)
 				}
 				f.Batch = f.Batch[:0]
+				lo.noteFrame()
 			}
 		}
 	}
@@ -225,8 +231,36 @@ func benchLinkThroughput(b *testing.B, batchSize int) {
 // framing on one TCP link; the batched/frames ratio is the wire-plane
 // speedup batching buys (the acceptance floor is 2×).
 func BenchmarkLinkThroughput(b *testing.B) {
-	b.Run("frames", func(b *testing.B) { benchLinkThroughput(b, 1) })
+	b.Run("frames", func(b *testing.B) { benchLinkThroughput(b, 1, nil) })
 	for _, size := range []int{8, 32} {
-		b.Run(fmt.Sprintf("batched%d", size), func(b *testing.B) { benchLinkThroughput(b, size) })
+		b.Run(fmt.Sprintf("batched%d", size), func(b *testing.B) { benchLinkThroughput(b, size, nil) })
 	}
+	// The instrumented variant: same 32-message batches with a live linkObs
+	// attached to the sender. Its allocs/op must match the plain run — the
+	// observability plane is not allowed to put allocations on the data path.
+	b.Run("batched32obs", func(b *testing.B) {
+		reg := obs.NewRegistry()
+		benchLinkThroughput(b, 32, newWireObs(reg, 0, 2).link(1))
+	})
+}
+
+// BenchmarkWireInstrumentation measures the wire-plane metric hooks
+// themselves, enabled against nil, exercising exactly the calls a node's
+// send/writer/deliver path makes per message. Both variants must report
+// 0 allocs/op — the nil fast path because it does nothing, the enabled path
+// because counters, gauges and histograms mutate in place.
+func BenchmarkWireInstrumentation(b *testing.B) {
+	run := func(b *testing.B, w *wireObs) {
+		lo := w.link(1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lo.setQueueDepth(i & 63)
+			lo.noteFrame()
+			lo.observeLatency(0.0003)
+			w.noteFlush(flushMsgs, 32)
+		}
+	}
+	b.Run("enabled", func(b *testing.B) { run(b, newWireObs(obs.NewRegistry(), 0, 2)) })
+	b.Run("nil", func(b *testing.B) { run(b, nil) })
 }

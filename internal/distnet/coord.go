@@ -24,6 +24,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"specomp/internal/obs"
 )
 
 // CoordConfig parameterizes a coordinator.
@@ -35,6 +37,10 @@ type CoordConfig struct {
 	Spec RunSpec
 	// Timeout bounds the whole run, join to last result (default 5m).
 	Timeout time.Duration
+	// Fleet, when non-nil, aggregates the nodes' metrics snapshots: the
+	// coordinator advertises CapObs in its configs (inviting periodic
+	// pushes) and feeds every obs frame into it.
+	Fleet *FleetObs
 	// Logf, when non-nil, receives membership and lifecycle lines.
 	Logf func(format string, args ...any)
 }
@@ -58,12 +64,19 @@ type NodeReport struct {
 	// the engine, physical frames written (batching ⇒ FramesSent ≪
 	// MsgsSent), delivery-latency percentiles, and whole-process heap
 	// allocations per message over the run.
-	MsgsRecvd    int       `json:"msgs_recvd,omitempty"`
-	FramesSent   int       `json:"frames_sent,omitempty"`
-	LatP50Sec    float64   `json:"lat_p50_sec,omitempty"`
-	LatP99Sec    float64   `json:"lat_p99_sec,omitempty"`
-	AllocsPerMsg float64   `json:"allocs_per_msg,omitempty"`
-	Final        []float64 `json:"final,omitempty"`
+	MsgsRecvd    int     `json:"msgs_recvd,omitempty"`
+	FramesSent   int     `json:"frames_sent,omitempty"`
+	LatP50Sec    float64 `json:"lat_p50_sec,omitempty"`
+	LatP99Sec    float64 `json:"lat_p99_sec,omitempty"`
+	AllocsPerMsg float64 `json:"allocs_per_msg,omitempty"`
+	// Trace-merge support (see resultMsg): wall-clock run start, per-peer
+	// clock offset/RTT estimates, and — under RunSpec.Trace — the node's
+	// run journal for trace.FleetChromeEvents.
+	StartUnix float64     `json:"start_unix,omitempty"`
+	ClockOff  []float64   `json:"clock_off,omitempty"`
+	ClockRTT  []float64   `json:"clock_rtt,omitempty"`
+	Journal   []obs.Event `json:"journal,omitempty"`
+	Final     []float64   `json:"final,omitempty"`
 }
 
 // Coordinator runs the membership/barrier/result protocol for one run.
@@ -120,6 +133,9 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 		cfg:   cfg,
 		ckpts: make(map[int][]byte),
 		done:  make(chan struct{}),
+	}
+	if cfg.Fleet != nil {
+		cfg.Fleet.SetJob(c.spec.Job)
 	}
 	go c.run()
 	return c, nil
@@ -181,11 +197,15 @@ func (c *Coordinator) run() {
 	for _, m := range members {
 		peers[m.rank] = m.addr
 	}
+	var coordCaps uint32
+	if c.cfg.Fleet != nil {
+		coordCaps |= CapObs // invite metrics-snapshot pushes
+	}
 	for _, m := range members {
 		c.mu.Lock()
 		ckpt := c.ckpts[m.rank]
 		c.mu.Unlock()
-		blob := encodeJSON(wireConfig{Rank: m.rank, Peers: peers, Spec: c.spec, Checkpoint: ckpt})
+		blob := encodeJSON(wireConfig{Rank: m.rank, Peers: peers, Spec: c.spec, Checkpoint: ckpt, CoordCaps: coordCaps})
 		if err := m.write(&Frame{Type: FrameConfig, Blob: blob}); err != nil {
 			c.runErr = fmt.Errorf("distnet: sending config to rank %d: %w", m.rank, err)
 			c.teardown(members)
@@ -249,6 +269,10 @@ func (c *Coordinator) run() {
 				c.mu.Lock()
 				c.ckpts[ev.f.Rank] = ev.f.Blob
 				c.mu.Unlock()
+			case FrameObs:
+				if c.cfg.Fleet != nil {
+					c.cfg.Fleet.Update(ev.rank, ev.f.Blob)
+				}
 			case FrameResult:
 				var rm resultMsg
 				if err := json.Unmarshal(ev.f.Blob, &rm); err != nil {
@@ -287,6 +311,10 @@ func (c *Coordinator) run() {
 			MsgsRecvd: rm.MsgsRecvd, FramesSent: rm.FramesSent,
 			LatP50Sec: rm.LatP50Sec, LatP99Sec: rm.LatP99Sec,
 			AllocsPerMsg: rm.AllocsPerMsg,
+			StartUnix:    rm.StartUnix,
+			ClockOff:     rm.ClockOff,
+			ClockRTT:     rm.ClockRTT,
+			Journal:      rm.Journal,
 			Final:        rm.Final,
 		})
 	}

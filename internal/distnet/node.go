@@ -8,11 +8,14 @@ package distnet
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
@@ -57,6 +60,12 @@ type NodeConfig struct {
 	// is reported down to the engine's failure detector (default 2s).
 	HeartbeatEvery   time.Duration
 	HeartbeatTimeout time.Duration
+	// JournalDir, when non-empty, streams the node's run journal to
+	// <JournalDir>/node-<rank>.jsonl through a buffered, size-capped writer
+	// (see obs.JournalWriter) — the durable journal long soaks keep.
+	JournalDir string
+	// JournalMaxBytes caps the journal file before rotation (<= 0: no cap).
+	JournalMaxBytes int64
 	// Logf, when non-nil, receives progress lines (addresses, mesh events).
 	Logf func(format string, args ...any)
 }
@@ -141,6 +150,13 @@ type transport struct {
 
 	obsMsgsSent  *obs.Counter
 	obsBytesSent *obs.Counter
+
+	// wobs is the wire-plane instrument set (nil when uninstrumented);
+	// journal + traceWire gate send/deliver trace events for the fleet
+	// trace merge.
+	wobs      *wireObs
+	journal   *obs.Journal
+	traceWire bool
 }
 
 var _ cluster.Transport = (*transport)(nil)
@@ -172,6 +188,9 @@ func (t *transport) SendShared(dst, tag, iter int, data []float64) {
 	t.bytesSent += bytes
 	t.obsMsgsSent.Inc()
 	t.obsBytesSent.Add(float64(bytes))
+	if t.traceWire {
+		t.journal.Record(obs.Event{T: m.SentAt, Proc: t.rank, Kind: obs.EvSend, Iter: iter, Peer: dst, V: float64(tag)})
+	}
 	pc := t.peers[dst]
 	if t.inj == nil {
 		t.enqueueData(pc, m, bytes)
@@ -213,8 +232,10 @@ func (t *transport) enqueueData(pc *peerConn, m cluster.Message, bytes int) {
 	t.pendBytes[dst] += bytes
 	var f Frame
 	flush := false
-	if len(t.pend[dst]) >= t.wire.MaxBatchMsgs || t.pendBytes[dst] >= t.wire.MaxBatchBytes {
-		f, flush = t.popLocked(dst)
+	if len(t.pend[dst]) >= t.wire.MaxBatchMsgs {
+		f, flush = t.popLocked(dst, flushMsgs)
+	} else if t.pendBytes[dst] >= t.wire.MaxBatchBytes {
+		f, flush = t.popLocked(dst, flushBytes)
 	}
 	t.batchMu.Unlock()
 	if flush {
@@ -223,13 +244,14 @@ func (t *transport) enqueueData(pc *peerConn, m cluster.Message, bytes int) {
 }
 
 // popLocked removes and returns dst's pending batch as a ready-to-send
-// frame (a plain data frame when only one message is pending). Caller holds
-// batchMu.
-func (t *transport) popLocked(dst int) (Frame, bool) {
+// frame (a plain data frame when only one message is pending), recording
+// the flush reason and batch occupancy. Caller holds batchMu.
+func (t *transport) popLocked(dst, reason int) (Frame, bool) {
 	msgs := t.pend[dst]
 	if len(msgs) == 0 {
 		return Frame{}, false
 	}
+	t.wobs.noteFlush(reason, len(msgs))
 	t.pend[dst] = getBatch()
 	t.pendBytes[dst] = 0
 	if len(msgs) == 1 {
@@ -244,13 +266,13 @@ func (t *transport) popLocked(dst int) (Frame, bool) {
 // entry to a blocking receive: at that point it has said everything it has
 // to say this iteration, and the peer may be waiting on exactly these
 // messages.
-func (t *transport) flushAll() {
+func (t *transport) flushAll(reason int) {
 	if t.pend == nil {
 		return
 	}
 	t.batchMu.Lock()
 	for dst := range t.pend {
-		if f, ok := t.popLocked(dst); ok {
+		if f, ok := t.popLocked(dst, reason); ok {
 			t.peers[dst].send(f)
 		}
 	}
@@ -275,7 +297,7 @@ func (t *transport) lingerLoop() {
 			t.batchMu.Lock()
 			for dst := range t.pend {
 				if len(t.pend[dst]) > 0 && now.Sub(t.pendSince[dst]) >= linger {
-					if f, ok := t.popLocked(dst); ok {
+					if f, ok := t.popLocked(dst, flushLinger); ok {
 						t.peers[dst].send(f)
 					}
 				}
@@ -320,10 +342,14 @@ func matches(m cluster.Message, src, tag int) bool {
 // different processes' clocks).
 func (t *transport) popped(m *cluster.Message) {
 	m.DeliveredAt = t.Now()
-	if d := m.DeliveredAt - m.SentAt; d > 0 {
-		t.lat = append(t.lat, d)
-	} else {
-		t.lat = append(t.lat, 0)
+	d := m.DeliveredAt - m.SentAt
+	if d < 0 {
+		d = 0
+	}
+	t.lat = append(t.lat, d)
+	t.wobs.link(m.Src).observeLatency(d)
+	if t.traceWire {
+		t.journal.Record(obs.Event{T: m.DeliveredAt, Proc: t.rank, Kind: obs.EvDeliver, Iter: m.Iter, Peer: m.Src, V: d})
 	}
 }
 
@@ -353,7 +379,7 @@ func (t *transport) Recv(src, tag int) cluster.Message {
 	if m, ok := t.takePending(src, tag); ok {
 		return m
 	}
-	t.flushAll() // about to block: everything we owe the mesh goes out first
+	t.flushAll(flushRecv) // about to block: everything we owe the mesh goes out first
 	before := time.Now()
 	defer func() { t.commSec += time.Since(before).Seconds() }()
 	for {
@@ -371,7 +397,7 @@ func (t *transport) RecvDeadline(src, tag int, timeout float64) (cluster.Message
 	if m, ok := t.takePending(src, tag); ok {
 		return m, true
 	}
-	t.flushAll() // about to block: everything we owe the mesh goes out first
+	t.flushAll(flushRecv) // about to block: everything we owe the mesh goes out first
 	before := time.Now()
 	defer func() { t.commSec += time.Since(before).Seconds() }()
 	deadline := before.Add(time.Duration(timeout * float64(time.Second)))
@@ -454,7 +480,9 @@ func (t *transport) reader(pc *peerConn) {
 				}
 			}
 		case FrameHeartbeat:
-			// touch above is the whole point
+			// touch above is the liveness half; the clock tail (if any)
+			// feeds the link's offset estimator.
+			pc.noteHeartbeat(f.Clock)
 		case FrameShutdown:
 			pc.down.Store(true)
 			return
@@ -507,7 +535,7 @@ func (t *transport) close() {
 			close(t.lingerStop)
 		}
 	}
-	t.flushAll()
+	t.flushAll(flushClose)
 	t.timersMu.Lock()
 	t.closed = true
 	timers := t.timers
@@ -570,7 +598,7 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 	defer coord.close()
 	// The coordinator link is control plane — no batching — but the hello
 	// still advertises the build's full capability set.
-	coord.send(Frame{Type: FrameHello, Rank: -1, Epoch: cfg.Epoch, Addr: ln.Addr().String(), Caps: CapBatch | CapDelta})
+	coord.send(Frame{Type: FrameHello, Rank: -1, Epoch: cfg.Epoch, Addr: ln.Addr().String(), Caps: CapBatch | CapDelta | CapObs})
 
 	// The config frame assigns our rank and carries the membership + spec.
 	cf, err := readConfig(coordRaw, cfg.DialTimeout)
@@ -588,6 +616,30 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 	}
 	cfg.logf("rank %d/%d assigned, peers %v", rank, p, wc.Peers)
 
+	// Observability first: registry and journal exist before the mesh so
+	// link construction, dial retries and the links themselves are
+	// instrumented from the first frame.
+	reg := obs.NewRegistry()
+	journal := obs.NewJournal()
+	core.RegisterEngineMetrics(reg, rank)
+	lp := obs.L("proc", strconv.Itoa(rank))
+	if cfg.JournalDir != "" {
+		if err := os.MkdirAll(cfg.JournalDir, 0o755); err != nil {
+			return nil, fmt.Errorf("distnet: journal dir: %w", err)
+		}
+		jw, err := obs.NewJournalWriter(
+			filepath.Join(cfg.JournalDir, fmt.Sprintf("node-%d.jsonl", rank)), cfg.JournalMaxBytes)
+		if err != nil {
+			return nil, err
+		}
+		defer jw.Close() // flushes buffered tail events on every exit path
+		journal.Attach(jw)
+		if !spec.Trace {
+			// The file keeps full history; memory keeps a bounded tail.
+			journal.Limit(4096)
+		}
+	}
+
 	// Build the transport around the mesh.
 	outCap := 2*spec.MaxIter + 64
 	tr := &transport{
@@ -598,6 +650,9 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 		procs:     p,
 		wire:      spec.Wire,
 		hbTimeout: cfg.HeartbeatTimeout,
+		wobs:      newWireObs(reg, rank, p),
+		journal:   journal,
+		traceWire: spec.Trace,
 	}
 	if !spec.Wire.NoBatch {
 		tr.pend = make([][]cluster.Message, p)
@@ -647,12 +702,8 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 		}
 	}()
 
-	// Observability: per-node metrics registry + run journal, optionally
-	// served live — the same artifacts a simulated run emits.
-	reg := obs.NewRegistry()
-	journal := obs.NewJournal()
-	core.RegisterEngineMetrics(reg, rank)
-	lp := obs.L("proc", strconv.Itoa(rank))
+	// Transport accounting counters + optional live HTTP endpoint — the
+	// same artifacts a simulated run emits.
 	tr.obsMsgsSent = reg.Counter(cluster.MetricMsgsSent, "logical messages passed to Send", lp)
 	tr.obsBytesSent = reg.Counter(cluster.MetricBytesSent, "payload+header bytes of logical sends", lp)
 	httpAddr := ""
@@ -665,6 +716,40 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 		defer srv.Close()
 		httpAddr = srv.Addr()
 		cfg.logf("rank %d serving /metrics and /journal on http://%s", rank, httpAddr)
+	}
+
+	// Metrics push loop: when the coordinator advertised CapObs, ship it a
+	// full registry snapshot (Prometheus text) every ObsPushMS so the fleet
+	// endpoint stays fresh while the run is live. A final push after the
+	// engine finishes precedes the result frame on the same TCP stream, so
+	// the coordinator always aggregates complete end-of-run counters.
+	pushSnapshot := func() {
+		// Count the push before rendering so the snapshot includes itself —
+		// the final end-of-run push must not report one less than reality.
+		tr.wobs.notePush()
+		var buf bytes.Buffer
+		if err := reg.WriteProm(&buf); err != nil {
+			return
+		}
+		coord.send(Frame{Type: FrameObs, Rank: rank, Blob: append([]byte(nil), buf.Bytes()...)})
+	}
+	var pushStop, pushDone chan struct{}
+	if wc.CoordCaps&CapObs != 0 && spec.ObsPushMS > 0 {
+		pushStop = make(chan struct{})
+		pushDone = make(chan struct{})
+		go func() {
+			defer close(pushDone)
+			tk := time.NewTicker(time.Duration(spec.ObsPushMS) * time.Millisecond)
+			defer tk.Stop()
+			for {
+				select {
+				case <-tk.C:
+					pushSnapshot()
+				case <-pushStop:
+					return
+				}
+			}
+		}()
 	}
 
 	// Start barrier: every node reports its mesh up; the coordinator
@@ -711,6 +796,33 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 		allocsPerMsg = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(n)
 	}
 
+	// Harvest the per-link clock-offset estimates (peer clock minus ours)
+	// for the trace merge, publishing them as gauges too.
+	clockOff := make([]float64, p)
+	clockRTT := make([]float64, p)
+	for j, pc := range tr.peers {
+		if pc == nil {
+			continue
+		}
+		if off, rtt, ok := pc.clockOffset(); ok {
+			clockOff[j], clockRTT[j] = off, rtt
+			pc.opts.obs.setClock(off, rtt)
+		}
+	}
+
+	// Stop the push loop, then send one final snapshot so the aggregated
+	// endpoint reflects the finished run before the result lands.
+	if pushStop != nil {
+		close(pushStop)
+		<-pushDone
+		pushSnapshot()
+	}
+
+	var traceEvents []obs.Event
+	if spec.Trace {
+		traceEvents = journal.Events()
+	}
+
 	// Report the outcome, then hold the mesh open until the coordinator
 	// confirms every node is done.
 	coord.send(Frame{Type: FrameResult, Blob: encodeJSON(resultMsg{
@@ -725,6 +837,10 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 		LatP50Sec:    latPercentile(tr.lat, 0.50),
 		LatP99Sec:    latPercentile(tr.lat, 0.99),
 		AllocsPerMsg: allocsPerMsg,
+		StartUnix:    float64(tr.start.UnixNano()) / 1e9,
+		ClockOff:     clockOff,
+		ClockRTT:     clockRTT,
+		Journal:      traceEvents,
 		Final:        res.Final,
 	})})
 	select {
@@ -809,7 +925,7 @@ func (t *transport) connectMesh(ln net.Listener, peers []string, cfg NodeConfig,
 				acceptErr <- fmt.Errorf("distnet: hello reply to rank %d: %w", hello.Rank, err)
 				return
 			}
-			t.peers[hello.Rank] = newPeerConn(hello.Rank, conn, outCap, linkOpts(t.wire, hello.Caps))
+			t.peers[hello.Rank] = newPeerConn(hello.Rank, conn, outCap, t.linkOptsFor(hello.Caps, hello.Rank))
 		}
 		acceptErr <- nil
 	}()
@@ -823,12 +939,20 @@ func (t *transport) connectMesh(ln net.Listener, peers []string, cfg NodeConfig,
 			}
 			continue
 		}
-		t.peers[d.rank] = newPeerConn(d.rank, d.conn, outCap, linkOpts(t.wire, d.caps))
+		t.peers[d.rank] = newPeerConn(d.rank, d.conn, outCap, t.linkOptsFor(d.caps, d.rank))
 	}
 	if err := <-acceptErr; err != nil && firstErr == nil {
 		firstErr = err
 	}
 	return firstErr
+}
+
+// linkOptsFor negotiates the link shape with peer j and attaches the link's
+// instrumentation handle.
+func (t *transport) linkOptsFor(remoteCaps uint32, j int) wireOpts {
+	o := linkOpts(t.wire, remoteCaps)
+	o.obs = t.wobs.link(j)
+	return o
 }
 
 // dialPeer dials rank j, sends our hello and reads the reply, returning the
@@ -845,6 +969,7 @@ func (t *transport) dialPeer(addr string, j int, myHello Frame, cfg NodeConfig) 
 		if remain <= 0 {
 			return nil, 0, fmt.Errorf("distnet: hello exchange with rank %d: %w", j, lastErr)
 		}
+		t.wobs.noteDial()
 		conn, err := dialRetry(addr, remain, cfg.Logf)
 		if err != nil {
 			return nil, 0, err
@@ -869,6 +994,7 @@ func (t *transport) dialPeer(addr string, j int, myHello Frame, cfg NodeConfig) 
 			return nil, 0, err
 		}
 		lastErr = err
+		t.wobs.noteHelloRetry()
 		time.Sleep(time.Duration(25<<min(attempt, 5)) * time.Millisecond)
 	}
 }

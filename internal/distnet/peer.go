@@ -13,6 +13,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"specomp/internal/trace"
 )
 
 // Connection-state machine of one peer link:
@@ -52,11 +54,14 @@ func dialRetry(addr string, total time.Duration, logf func(string, ...any)) (net
 	}
 }
 
-// wireOpts is the per-link frame shape negotiated from the hello exchange:
-// the intersection of what this side wants and what the peer advertised.
+// wireOpts is the per-link frame shape negotiated from the hello exchange
+// (the intersection of what this side wants and what the peer advertised)
+// plus the link's local instrumentation handle.
 type wireOpts struct {
 	batch bool // peer decodes FrameBatch
 	delta bool // peer decodes delta-coded batch entries
+	clock bool // peer decodes timestamped heartbeats (CapObs)
+	obs   *linkObs
 }
 
 // linkOpts intersects the local wire configuration with a peer's advertised
@@ -65,12 +70,13 @@ func linkOpts(w WireSpec, remoteCaps uint32) wireOpts {
 	return wireOpts{
 		batch: !w.NoBatch && remoteCaps&CapBatch != 0,
 		delta: w.Delta && remoteCaps&CapDelta != 0,
+		clock: remoteCaps&CapObs != 0,
 	}
 }
 
 // localCaps is the capability mask this side advertises in its hellos.
 func localCaps(w WireSpec) uint32 {
-	caps := CapBatch
+	caps := CapBatch | CapObs
 	if w.Delta {
 		caps |= CapDelta
 	}
@@ -106,6 +112,15 @@ type peerConn struct {
 	framesSent atomic.Int64
 	// down latches on a hard read/write error or remote close.
 	down atomic.Bool
+
+	// Clock-sync state (CapObs links). The reader stores the last stamp the
+	// peer sent plus its local arrival time; the next outbound beacon echoes
+	// them so the peer can close an NTP-style four-timestamp exchange. est
+	// folds in completed exchanges this side observes.
+	clkMu      sync.Mutex
+	rxPeerSend float64 // peer's send stamp of the last timestamped beacon seen
+	rxLocal    float64 // local unix time that beacon arrived
+	est        trace.OffsetEstimator
 }
 
 func newPeerConn(rank int, conn net.Conn, outCap int, opts wireOpts) *peerConn {
@@ -132,6 +147,7 @@ func (pc *peerConn) send(f Frame) {
 		return
 	}
 	pc.lastSent.Store(time.Now().UnixNano())
+	pc.opts.obs.setQueueDepth(len(pc.out))
 	select {
 	case pc.out <- f:
 	case <-pc.stop:
@@ -146,6 +162,7 @@ func (pc *peerConn) writer() {
 	defer close(pc.done)
 	bw := bufio.NewWriterSize(pc.conn, 64<<10)
 	enc := NewEncoder(bw, pc.opts.delta)
+	enc.instrumentDelta(pc.opts.obs)
 	write := func(f *Frame) error {
 		err := enc.Encode(f)
 		if f.Batch != nil {
@@ -153,6 +170,7 @@ func (pc *peerConn) writer() {
 		}
 		if err == nil {
 			pc.framesSent.Add(1)
+			pc.opts.obs.noteFrame()
 		}
 		return err
 	}
@@ -232,14 +250,59 @@ func (pc *peerConn) heartbeater(interval time.Duration) {
 	for {
 		select {
 		case <-t.C:
-			if time.Since(time.Unix(0, pc.lastSent.Load())) < interval {
+			// Clock-sync links beacon unconditionally — the stamps are the
+			// offset estimator's sample stream, and their cost is one tiny
+			// frame per interval. Plain links keep piggybacked liveness.
+			if !pc.opts.clock && time.Since(time.Unix(0, pc.lastSent.Load())) < interval {
 				continue // data traffic is the heartbeat
 			}
-			pc.send(Frame{Type: FrameHeartbeat})
+			pc.send(pc.beacon())
+			pc.opts.obs.noteHeartbeat()
 		case <-pc.stop:
 			return
 		}
 	}
+}
+
+// beacon builds the next outbound heartbeat. On clock-sync links it carries
+// the three-stamp tail: our send time plus an echo of the last stamp the
+// peer sent and when it arrived here, which lets the peer close a
+// four-timestamp exchange on receipt.
+func (pc *peerConn) beacon() Frame {
+	f := Frame{Type: FrameHeartbeat}
+	if pc.opts.clock {
+		pc.clkMu.Lock()
+		f.Clock = [3]float64{unixNow(), pc.rxPeerSend, pc.rxLocal}
+		pc.clkMu.Unlock()
+	}
+	return f
+}
+
+// noteHeartbeat ingests a received heartbeat's clock tail: remembers the
+// peer's stamp for echoing, and when the beacon echoes one of ours, folds
+// the completed exchange into the offset estimate.
+func (pc *peerConn) noteHeartbeat(clk [3]float64) {
+	if clk[0] == 0 {
+		return // no tail
+	}
+	now := unixNow()
+	pc.clkMu.Lock()
+	pc.rxPeerSend, pc.rxLocal = clk[0], now
+	pc.clkMu.Unlock()
+	if clk[1] != 0 {
+		// t1 = our stamp the peer echoed, t2 = peer's arrival time of it,
+		// t3 = peer's send time of this beacon, t4 = now.
+		pc.est.AddSample(clk[1], clk[2], clk[0], now)
+		if off, rtt, ok := pc.est.Offset(); ok {
+			pc.opts.obs.setClock(off, rtt)
+		}
+	}
+}
+
+// clockOffset reports the link's current offset estimate (peer clock minus
+// local clock), the RTT of the sample behind it, and whether one exists.
+func (pc *peerConn) clockOffset() (offset, rtt float64, ok bool) {
+	return pc.est.Offset()
 }
 
 // readHello performs the receiving half of the link handshake with a

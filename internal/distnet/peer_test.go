@@ -269,7 +269,7 @@ func TestBatchFaultParity(t *testing.T) {
 		for tag := 0; tag < tags; tag++ {
 			tr0.SendShared(1, tag, iter, payload(iter, tag))
 		}
-		tr0.flushAll()
+		tr0.flushAll(flushRecv)
 	}
 
 	// Replay the identical plan sequence offline.

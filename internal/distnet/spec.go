@@ -56,6 +56,17 @@ type RunSpec struct {
 	// Wire tunes the data-plane framing (batching, delta coding, flush
 	// policy). The zero value means defaults: batching on, delta off.
 	Wire WireSpec `json:"wire,omitempty"`
+	// Job names the run in aggregated fleet metrics (the job label).
+	// Defaults to App.
+	Job string `json:"job,omitempty"`
+	// ObsPushMS is the period, in milliseconds, at which nodes push metrics
+	// snapshots to the coordinator when it advertised CapObs. 0 means the
+	// 500 ms default; negative disables pushing.
+	ObsPushMS int `json:"obs_push_ms,omitempty"`
+	// Trace enables wire-plane journal events (send/deliver stamps) and
+	// ships each node's journal home in its result, so the coordinator can
+	// merge a cross-process speculation trace.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // WireSpec tunes the distnet data plane. It travels inside the RunSpec so
@@ -105,6 +116,12 @@ func (s *RunSpec) Normalize() error {
 	}
 	if s.Wire.LingerUS <= 0 {
 		s.Wire.LingerUS = 150
+	}
+	if s.Job == "" {
+		s.Job = s.App
+	}
+	if s.ObsPushMS == 0 {
+		s.ObsPushMS = 500
 	}
 	switch s.App {
 	case "heat":
@@ -194,6 +211,10 @@ type wireConfig struct {
 	// Checkpoint is the node's latest snapshot in coordinator custody (nil
 	// on a fresh run); a relaunched node restores and rejoins from it.
 	Checkpoint []byte `json:"checkpoint,omitempty"`
+	// CoordCaps advertises the coordinator's capabilities (the coordinator
+	// sends no hello, so its caps word travels here). CapObs invites
+	// periodic metrics-snapshot pushes.
+	CoordCaps uint32 `json:"coord_caps,omitempty"`
 }
 
 // resultMsg is the body of a FrameResult.
@@ -211,12 +232,20 @@ type resultMsg struct {
 	MsgsSent  int     `json:"msgs_sent"`
 	BytesSent int     `json:"bytes_sent"`
 	// Wire-plane throughput measures (the soak harness aggregates these).
-	MsgsRecvd    int       `json:"msgs_recvd,omitempty"`
-	FramesSent   int       `json:"frames_sent,omitempty"`
-	LatP50Sec    float64   `json:"lat_p50_sec,omitempty"`
-	LatP99Sec    float64   `json:"lat_p99_sec,omitempty"`
-	AllocsPerMsg float64   `json:"allocs_per_msg,omitempty"`
-	Final        []float64 `json:"final"`
+	MsgsRecvd    int     `json:"msgs_recvd,omitempty"`
+	FramesSent   int     `json:"frames_sent,omitempty"`
+	LatP50Sec    float64 `json:"lat_p50_sec,omitempty"`
+	LatP99Sec    float64 `json:"lat_p99_sec,omitempty"`
+	AllocsPerMsg float64 `json:"allocs_per_msg,omitempty"`
+	// Trace-merge support: the wall-clock instant of the node's journal t=0,
+	// its estimated clock offset/RTT to every peer (index-aligned by rank;
+	// 0 at its own rank and where no estimate exists), and — when the spec
+	// set Trace — the node's journal itself.
+	StartUnix float64     `json:"start_unix,omitempty"`
+	ClockOff  []float64   `json:"clock_off,omitempty"`
+	ClockRTT  []float64   `json:"clock_rtt,omitempty"`
+	Journal   []obs.Event `json:"journal,omitempty"`
+	Final     []float64   `json:"final"`
 }
 
 func encodeJSON(v any) []byte {

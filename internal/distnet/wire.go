@@ -50,6 +50,7 @@ const (
 	FrameResult                          // node → coord: run outcome (JSON blob)
 	FrameShutdown                        // coord → node: run over, tear down
 	FrameBatch                           // peer → peer: several cluster.Messages in one frame
+	FrameObs                             // node → coord: metrics snapshot (rank, Prometheus text blob)
 	frameTypeEnd
 )
 
@@ -74,6 +75,8 @@ func (t FrameType) String() string {
 		return "shutdown"
 	case FrameBatch:
 		return "batch"
+	case FrameObs:
+		return "obs"
 	}
 	return fmt.Sprintf("frame(%d)", uint8(t))
 }
@@ -87,6 +90,9 @@ const (
 	// CapDelta: the peer decodes delta-coded batch entries (enc 1) and
 	// tracks per-stream bases from link start.
 	CapDelta
+	// CapObs: the peer decodes obs frames (metrics snapshots) and the
+	// timestamped heartbeat tail used for clock-offset estimation.
+	CapObs
 )
 
 // MaxFrame bounds one frame's encoded payload. Larger frames are refused on
@@ -135,9 +141,15 @@ type Frame struct {
 	Addr string
 	// Seq is the barrier identifier in a FrameBarrier.
 	Seq int
-	// Blob carries the JSON body of FrameConfig/FrameResult and the
-	// checkpoint snapshot of FrameCheckpoint.
+	// Blob carries the JSON body of FrameConfig/FrameResult, the checkpoint
+	// snapshot of FrameCheckpoint, and the Prometheus text snapshot of
+	// FrameObs.
 	Blob []byte
+	// Clock is a FrameHeartbeat's optional timestamp tail (unix seconds),
+	// used for NTP-style clock-offset estimation on CapObs links:
+	// {sender's send time, echo of the last stamp seen from the peer, local
+	// receive time of that stamp}. All-zero means no tail.
+	Clock [3]float64
 }
 
 // Wire layout: a frame is
@@ -151,14 +163,16 @@ type Frame struct {
 //	batch      u32 count · count×entry (see batch.go for the entry layout)
 //	hello      i64 rank, epoch · u32 len · addr bytes · u32 caps
 //	config     u32 len · blob
-//	heartbeat  (empty)
+//	heartbeat  (empty | 3×f64 clock stamps)
 //	barrier    i64 seq
 //	checkpoint i64 proc · u32 len · blob
 //	result     u32 len · blob
 //	shutdown   (empty)
+//	obs        i64 rank · u32 len · blob
 //
-// The hello caps word is optional on decode (absent reads as 0) so frames
-// from builds predating capability negotiation still parse.
+// The hello caps word and the heartbeat clock tail are optional on decode
+// (absent reads as zero) so frames from builds predating capability
+// negotiation still parse; a partial clock tail is corrupt.
 
 // appendI64 encodes v big-endian onto dst.
 func appendI64(dst []byte, v int64) []byte {
@@ -215,13 +229,19 @@ func appendPayload(dst []byte, f *Frame, ds *deltaState) ([]byte, error) {
 	case FrameConfig, FrameResult:
 		dst = appendU32(dst, uint32(len(f.Blob)))
 		dst = append(dst, f.Blob...)
-	case FrameCheckpoint:
+	case FrameCheckpoint, FrameObs:
 		dst = appendI64(dst, int64(f.Rank))
 		dst = appendU32(dst, uint32(len(f.Blob)))
 		dst = append(dst, f.Blob...)
 	case FrameBarrier:
 		dst = appendI64(dst, int64(f.Seq))
-	case FrameHeartbeat, FrameShutdown:
+	case FrameHeartbeat:
+		if f.Clock != ([3]float64{}) {
+			for _, v := range f.Clock {
+				dst = appendI64(dst, int64(math.Float64bits(v)))
+			}
+		}
+	case FrameShutdown:
 		// No body.
 	default:
 		return nil, fmt.Errorf("distnet: encoding unknown frame type %d", f.Type)
@@ -290,6 +310,14 @@ func NewEncoder(w io.Writer, delta bool) *Encoder {
 		e.ds = newDeltaState()
 	}
 	return e
+}
+
+// instrumentDelta attaches a link's compression instrumentation to the
+// encoder's delta codec. No-op without delta coding or with a nil handle.
+func (e *Encoder) instrumentDelta(lo *linkObs) {
+	if e.ds != nil {
+		e.ds.lo = lo
+	}
 }
 
 // Encode writes one frame. Zero allocations in steady state.
@@ -527,12 +555,19 @@ func (d *Decoder) decodePayload(f *Frame, payload []byte) error {
 		}
 	case FrameConfig, FrameResult:
 		f.Blob = append([]byte(nil), p.bytes(int(p.u32()))...)
-	case FrameCheckpoint:
+	case FrameCheckpoint, FrameObs:
 		f.Rank = int(p.i64())
 		f.Blob = append([]byte(nil), p.bytes(int(p.u32()))...)
 	case FrameBarrier:
 		f.Seq = int(p.i64())
-	case FrameHeartbeat, FrameShutdown:
+	case FrameHeartbeat:
+		if p.off < len(p.b) {
+			// Optional clock tail: exactly three stamps or nothing.
+			for i := range f.Clock {
+				f.Clock[i] = math.Float64frombits(uint64(p.i64()))
+			}
+		}
+	case FrameShutdown:
 		// No body.
 	default:
 		return corruptf("unknown frame type %d", payload[0])

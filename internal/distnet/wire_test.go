@@ -18,7 +18,7 @@ func randFrame(rng *rand.Rand) Frame {
 	types := []FrameType{
 		FrameData, FrameHello, FrameConfig, FrameHeartbeat,
 		FrameBarrier, FrameCheckpoint, FrameResult, FrameShutdown,
-		FrameBatch,
+		FrameBatch, FrameObs,
 	}
 	f := Frame{Type: types[rng.Intn(len(types))]}
 	randBlob := func() []byte {
@@ -67,14 +67,22 @@ func randFrame(rng *rand.Rand) Frame {
 		f.Rank = rng.Intn(18) - 2 // -1 = unassigned must survive
 		f.Epoch = rng.Intn(5)
 		f.Addr = string(randBlob())
-		f.Caps = rng.Uint32() & (CapBatch | CapDelta)
+		f.Caps = rng.Uint32() & (CapBatch | CapDelta | CapObs)
 	case FrameConfig, FrameResult:
 		f.Blob = randBlob()
-	case FrameCheckpoint:
+	case FrameCheckpoint, FrameObs:
 		f.Rank = rng.Intn(16)
 		f.Blob = randBlob()
 	case FrameBarrier:
 		f.Seq = rng.Intn(100) - 1
+	case FrameHeartbeat:
+		if rng.Intn(2) == 0 {
+			// Timestamped beacon (CapObs links). Clock[0] must be non-zero —
+			// zero means "no tail" and encodes to the empty legacy beacon.
+			f.Clock = [3]float64{
+				1 + rng.Float64()*1e9, rng.Float64() * 1e9, rng.Float64() * 1e9,
+			}
+		}
 	}
 	return f
 }

@@ -35,6 +35,12 @@ const (
 	EvRejoin     = "rejoin"      // rejoin request handled; Proc = survivor, Peer = rejoiner
 	EvCatchup    = "catchup"     // rejoiner re-reached the surviving frontier; V = iterations replayed
 	EvCatchupGap = "catchup_gap" // peer log could not cover the outage; V = first re-sendable iter
+
+	// Wire-plane trace events (distnet, RunSpec.Trace): the cross-process
+	// halves of a speculation's lifecycle, merged into one flow by
+	// trace.FleetChromeEvents.
+	EvSend    = "send"    // message enqueued for peer Peer at Iter; V = tag
+	EvDeliver = "deliver" // message from Peer at Iter handed to the engine; V = delivery latency (s)
 )
 
 // NoPeer is the Event.Peer value for events not tied to a peer.
@@ -56,12 +62,61 @@ type Event struct {
 // seed yields a byte-identical WriteJSONL output across runs. A nil *Journal
 // is a valid "journal off" value: Record no-ops.
 type Journal struct {
-	mu     sync.Mutex
-	events []Event
+	mu      sync.Mutex
+	events  []Event
+	sink    *JournalWriter // when attached, every Record also streams here
+	limit   int            // >0: retain only the most recent limit events in memory
+	dropped int            // events trimmed from memory by the limit
 }
 
 // NewJournal returns an empty journal.
 func NewJournal() *Journal { return &Journal{} }
+
+// Attach streams every subsequent Record into w (in record order) in
+// addition to the in-memory log. Pair with Limit to bound memory on long
+// runs while the file keeps the full history.
+func (j *Journal) Attach(w *JournalWriter) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.sink = w
+	j.mu.Unlock()
+}
+
+// Limit bounds the in-memory retention to the most recent n events (0
+// restores unbounded retention). Events/WriteJSONL then serve only the
+// retained tail; an attached JournalWriter is unaffected.
+func (j *Journal) Limit(n int) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.limit = n
+	j.trimLocked()
+	j.mu.Unlock()
+}
+
+// Dropped returns how many events the memory limit has trimmed.
+func (j *Journal) Dropped() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
+}
+
+// trimLocked enforces the memory limit, amortizing the copy by letting the
+// slice grow to twice the limit before compacting.
+func (j *Journal) trimLocked() {
+	if j.limit <= 0 || len(j.events) <= 2*j.limit {
+		return
+	}
+	drop := len(j.events) - j.limit
+	j.dropped += drop
+	j.events = append(j.events[:0], j.events[drop:]...)
+}
 
 // Record appends one event. No-op on nil.
 func (j *Journal) Record(e Event) {
@@ -70,6 +125,8 @@ func (j *Journal) Record(e Event) {
 	}
 	j.mu.Lock()
 	j.events = append(j.events, e)
+	j.sink.Record(e) // under mu: file order matches memory order
+	j.trimLocked()
 	j.mu.Unlock()
 }
 

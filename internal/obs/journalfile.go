@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// JournalWriter streams journal events to a JSONL file through a buffered
+// writer, with optional size-capped rotation — the durability layer long
+// soaks attach to a Journal so tail events survive the process and the file
+// never grows without bound.
+//
+// Writes are buffered; Flush forces them to the OS and Close flushes and
+// closes. Callers on shutdown/crash paths must reach Close (a deferred Close
+// right after construction is the intended shape). When maxBytes > 0 and a
+// record would push the current file past it, the file is rotated: the
+// current contents move to path+".1" (replacing any previous rotation) and
+// writing restarts on a fresh file, so at most ~2×maxBytes is ever on disk
+// and the newest events are always in the live file.
+//
+// A nil *JournalWriter is a valid "file journal off" value: every method
+// no-ops.
+type JournalWriter struct {
+	mu       sync.Mutex
+	path     string
+	maxBytes int64
+	f        *os.File
+	bw       *bufio.Writer
+	written  int64
+	rotated  int
+	err      error // first write/rotate error, sticky
+}
+
+// NewJournalWriter creates (truncating) the JSONL file at path. maxBytes <= 0
+// disables rotation.
+func NewJournalWriter(path string, maxBytes int64) (*JournalWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: journal file: %w", err)
+	}
+	return &JournalWriter{
+		path:     path,
+		maxBytes: maxBytes,
+		f:        f,
+		bw:       bufio.NewWriterSize(f, 64<<10),
+	}, nil
+}
+
+// Record appends one event as a JSONL line, rotating first when the line
+// would exceed the size cap. Errors are sticky and surfaced via Err/Close;
+// recording past an error is a no-op so hot paths need no error handling.
+func (w *JournalWriter) Record(e Event) {
+	if w == nil {
+		return
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return // Event is plain data; cannot happen
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil || w.f == nil {
+		return
+	}
+	if w.maxBytes > 0 && w.written > 0 && w.written+int64(len(line))+1 > w.maxBytes {
+		w.rotateLocked()
+		if w.err != nil {
+			return
+		}
+	}
+	if _, err := w.bw.Write(line); err != nil {
+		w.err = err
+		return
+	}
+	if err := w.bw.WriteByte('\n'); err != nil {
+		w.err = err
+		return
+	}
+	w.written += int64(len(line)) + 1
+}
+
+// rotateLocked moves the live file to path+".1" and reopens a fresh one.
+func (w *JournalWriter) rotateLocked() {
+	if err := w.bw.Flush(); err != nil {
+		w.err = err
+		return
+	}
+	if err := w.f.Close(); err != nil {
+		w.err = err
+		return
+	}
+	if err := os.Rename(w.path, w.path+".1"); err != nil {
+		w.err = err
+		return
+	}
+	f, err := os.Create(w.path)
+	if err != nil {
+		w.err = err
+		return
+	}
+	w.f = f
+	w.bw = bufio.NewWriterSize(f, 64<<10)
+	w.written = 0
+	w.rotated++
+}
+
+// Flush forces buffered lines to the OS.
+func (w *JournalWriter) Flush() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil || w.f == nil {
+		return w.err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.err = err
+	}
+	return w.err
+}
+
+// Close flushes and closes the file, returning the first error the writer
+// hit. Idempotent.
+func (w *JournalWriter) Close() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return w.err
+	}
+	if err := w.bw.Flush(); err != nil && w.err == nil {
+		w.err = err
+	}
+	if err := w.f.Close(); err != nil && w.err == nil {
+		w.err = err
+	}
+	w.f = nil
+	return w.err
+}
+
+// Err returns the writer's sticky error, if any.
+func (w *JournalWriter) Err() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Rotations returns how many times the file has been rotated.
+func (w *JournalWriter) Rotations() int {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.rotated
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestJournalWriterFlushOnClose checks the buffered path: records smaller
+// than the bufio buffer only reach disk once Close (or Flush) runs, and
+// after Close every record is present and well-formed.
+func TestJournalWriterFlushOnClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	w, err := NewJournalWriter(path, 0)
+	if err != nil {
+		t.Fatalf("NewJournalWriter: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		w.Record(Event{T: float64(i), Proc: 1, Kind: EvSend, Iter: i, Peer: 2})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	evs, err := ReadJSONL(f)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if len(evs) != 10 {
+		t.Fatalf("got %d events after close, want 10", len(evs))
+	}
+	for i, e := range evs {
+		if e.Iter != i || e.Kind != EvSend {
+			t.Fatalf("event %d = %+v, want iter=%d kind=%s", i, e, i, EvSend)
+		}
+	}
+	// Close is idempotent and records after close are dropped, not panics.
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	w.Record(Event{Kind: EvSend})
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush after Close: %v", err)
+	}
+}
+
+// TestJournalWriterRotation checks the size cap: once the active file would
+// exceed maxBytes it is renamed to path.1 and a fresh file continues, so an
+// unbounded run cannot fill the disk with one giant journal.
+func TestJournalWriterRotation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rot.jsonl")
+	w, err := NewJournalWriter(path, 256)
+	if err != nil {
+		t.Fatalf("NewJournalWriter: %v", err)
+	}
+	for i := 0; i < 100; i++ {
+		w.Record(Event{T: float64(i), Proc: 3, Kind: EvDeliver, Iter: i, Peer: 0, V: 0.001})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if w.Rotations() == 0 {
+		t.Fatalf("100 records under a 256-byte cap never rotated")
+	}
+	// Both the active file and the rotated one must stay within the cap's
+	// ballpark (cap + one record of slack) and parse line by line.
+	total := 0
+	for _, p := range []string{path, path + ".1"} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("stat %s: %v", p, err)
+		}
+		if fi.Size() > 256+200 {
+			t.Errorf("%s is %d bytes, far over the 256-byte cap", p, fi.Size())
+		}
+		f, err := os.Open(p)
+		if err != nil {
+			t.Fatalf("open %s: %v", p, err)
+		}
+		evs, err := ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("ReadJSONL %s: %v", p, err)
+		}
+		total += len(evs)
+	}
+	if total == 0 {
+		t.Fatalf("no events survived rotation")
+	}
+	if w.Err() != nil {
+		t.Fatalf("writer error: %v", w.Err())
+	}
+}
+
+// TestJournalAttachStreams checks the Journal→JournalWriter pipe: attached
+// events stream to disk as they are recorded (after a flush), and Limit
+// keeps the in-memory copy bounded without affecting the file.
+func TestJournalAttachStreams(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "attach.jsonl")
+	w, err := NewJournalWriter(path, 0)
+	if err != nil {
+		t.Fatalf("NewJournalWriter: %v", err)
+	}
+	j := NewJournal()
+	j.Attach(w)
+	j.Limit(8)
+	for i := 0; i < 64; i++ {
+		j.Record(Event{T: float64(i), Kind: EvIterStart, Iter: i, Peer: NoPeer})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if n := j.Len(); n > 16 {
+		t.Errorf("in-memory journal holds %d events with Limit(8); trim is broken", n)
+	}
+	if j.Dropped() == 0 {
+		t.Errorf("Dropped() = 0 after trimming 64 events under Limit(8)")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	evs, err := ReadJSONL(f)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if len(evs) != 64 {
+		t.Fatalf("file has %d events, want all 64 despite the in-memory cap", len(evs))
+	}
+}
+
+// TestJournalWriterNilSafe checks every method on a nil writer is a no-op.
+func TestJournalWriterNilSafe(t *testing.T) {
+	var w *JournalWriter
+	w.Record(Event{Kind: EvSend})
+	if err := w.Flush(); err != nil {
+		t.Fatalf("nil Flush: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("nil Close: %v", err)
+	}
+	if w.Err() != nil || w.Rotations() != 0 {
+		t.Fatalf("nil writer reports state")
+	}
+}

@@ -293,17 +293,15 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Lab
 	return r.getSeries(name, help, kindHistogram, buckets, labels).hist
 }
 
-// promLabels renders {k="v",...} (empty string for no labels).
+// promLabels renders {k="v",...} (empty string for no labels) with the
+// exposition-format escapes (see EscapeLabelValue) so label values carrying
+// backslashes, quotes or newlines survive an expose→parse round trip.
 func promLabels(labels []Label, extra ...Label) string {
 	all := append(append([]Label{}, labels...), extra...)
 	if len(all) == 0 {
 		return ""
 	}
-	parts := make([]string, len(all))
-	for i, l := range all {
-		parts[i] = fmt.Sprintf("%s=%q", l.Key, l.Value)
-	}
-	return "{" + strings.Join(parts, ",") + "}"
+	return "{" + LabelString(all) + "}"
 }
 
 // formatVal renders a sample value the way Prometheus does.

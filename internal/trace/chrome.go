@@ -20,7 +20,9 @@ type ChromeEvent struct {
 	Dur   float64        `json:"dur,omitempty"`
 	Pid   int            `json:"pid"`
 	Tid   int            `json:"tid"`
-	Scope string         `json:"s,omitempty"` // instant scope: "t" = thread
+	Scope string         `json:"s,omitempty"`  // instant scope: "t" = thread
+	ID    int            `json:"id,omitempty"` // flow-event binding (ph "s"/"t"/"f")
+	BP    string         `json:"bp,omitempty"` // flow binding point: "e" = enclosing slice
 	Args  map[string]any `json:"args,omitempty"`
 }
 

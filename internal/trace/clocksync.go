@@ -1,0 +1,78 @@
+package trace
+
+import "sync"
+
+// OffsetEstimator estimates the clock offset between two processes from
+// NTP-style four-timestamp exchanges, as harvested from distnet's heartbeat
+// round trips. One exchange yields
+//
+//	t1  local send time        (local clock)
+//	t2  remote receive time    (remote clock)
+//	t3  remote send time       (remote clock)
+//	t4  local receive time     (local clock)
+//
+//	offset = ((t2-t1) + (t3-t4)) / 2     estimate of remote − local
+//	rtt    = (t4-t1) − (t3-t2)           round-trip network time
+//
+// The estimator keeps the sample with the smallest RTT seen: under
+// asymmetric path delays d1 (out) and d2 (back) the estimate's error is
+// (d1−d2)/2, bounded by rtt/2, so the tightest round trip bounds the error
+// best. A nil *OffsetEstimator is a valid "no sync" value: AddSample no-ops
+// and Offset reports no estimate.
+type OffsetEstimator struct {
+	mu  sync.Mutex
+	n   int
+	rtt float64 // smallest RTT seen
+	off float64 // offset of the minimum-RTT sample
+}
+
+// AddSample folds one completed exchange into the estimate. Samples with a
+// negative RTT (clock stepped mid-exchange, or garbled stamps) are ignored.
+func (e *OffsetEstimator) AddSample(t1, t2, t3, t4 float64) {
+	if e == nil {
+		return
+	}
+	rtt := (t4 - t1) - (t3 - t2)
+	if rtt < 0 {
+		return
+	}
+	off := ((t2 - t1) + (t3 - t4)) / 2
+	e.mu.Lock()
+	if e.n == 0 || rtt < e.rtt {
+		e.rtt, e.off = rtt, off
+	}
+	e.n++
+	e.mu.Unlock()
+}
+
+// Offset returns the current estimate of the remote clock minus the local
+// clock, the RTT of the sample it came from, and whether any sample has been
+// folded in yet.
+func (e *OffsetEstimator) Offset() (offset, rtt float64, ok bool) {
+	if e == nil {
+		return 0, 0, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.off, e.rtt, e.n > 0
+}
+
+// Samples returns how many exchanges have been folded in.
+func (e *OffsetEstimator) Samples() int {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.n
+}
+
+// ErrorBound returns the worst-case absolute error of the current estimate
+// (rtt/2), or 0 when no estimate exists.
+func (e *OffsetEstimator) ErrorBound() float64 {
+	_, rtt, ok := e.Offset()
+	if !ok {
+		return 0
+	}
+	return rtt / 2
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// exchange simulates one NTP-style round trip between a local clock and a
+// remote clock that runs skew seconds ahead, with one-way delays d1 (out)
+// and d2 (back), returning the four stamps AddSample consumes.
+func exchange(localSend, skew, d1, d2 float64) (t1, t2, t3, t4 float64) {
+	t1 = localSend
+	t2 = localSend + d1 + skew // remote clock at arrival
+	t3 = t2 + 0.0001           // remote turns it around 100µs later
+	t4 = localSend + d1 + 0.0001 + d2
+	return
+}
+
+// TestOffsetSymmetricExact: with equal path delays the estimator recovers
+// the skew exactly — the (d1−d2)/2 error term vanishes.
+func TestOffsetSymmetricExact(t *testing.T) {
+	for _, skew := range []float64{0, 1.5, -2.25, 1e-6, 86400} {
+		var e OffsetEstimator
+		e.AddSample(exchange(1000, skew, 0.002, 0.002))
+		off, rtt, ok := e.Offset()
+		if !ok {
+			t.Fatalf("skew %v: no estimate after one sample", skew)
+		}
+		// Tolerance scales with the stamps: at day-sized skews float64
+		// cancellation costs a few ULPs of the large operands.
+		tol := 1e-12 + 1e-11*math.Abs(skew)
+		if math.Abs(off-skew) > tol {
+			t.Errorf("skew %v: estimated %v (err %v), want exact", skew, off, off-skew)
+		}
+		if math.Abs(rtt-0.004) > tol {
+			t.Errorf("skew %v: rtt %v, want 0.004", skew, rtt)
+		}
+	}
+}
+
+// TestOffsetAsymmetricBounded: with unequal delays the error is (d1−d2)/2,
+// always within the advertised ErrorBound of rtt/2.
+func TestOffsetAsymmetricBounded(t *testing.T) {
+	const skew = 3.0
+	cases := []struct{ d1, d2 float64 }{
+		{0.001, 0.005}, {0.005, 0.001}, {0.0001, 0.01}, {0.01, 0.0001},
+	}
+	for _, c := range cases {
+		var e OffsetEstimator
+		e.AddSample(exchange(500, skew, c.d1, c.d2))
+		off, _, ok := e.Offset()
+		if !ok {
+			t.Fatalf("d1=%v d2=%v: no estimate", c.d1, c.d2)
+		}
+		wantErr := (c.d1 - c.d2) / 2
+		if math.Abs((off-skew)-wantErr) > 1e-12 {
+			t.Errorf("d1=%v d2=%v: error %v, want %v", c.d1, c.d2, off-skew, wantErr)
+		}
+		if math.Abs(off-skew) > e.ErrorBound()+1e-12 {
+			t.Errorf("d1=%v d2=%v: error %v exceeds bound %v", c.d1, c.d2, off-skew, e.ErrorBound())
+		}
+	}
+}
+
+// TestOffsetKeepsMinRTT: across many noisy exchanges the estimator keeps the
+// tightest round trip, so adding jittery samples never loosens the estimate.
+func TestOffsetKeepsMinRTT(t *testing.T) {
+	const skew = -0.75
+	rng := rand.New(rand.NewSource(42))
+	var e OffsetEstimator
+	for i := 0; i < 200; i++ {
+		d1 := 0.001 + 0.02*rng.Float64()
+		d2 := 0.001 + 0.02*rng.Float64()
+		e.AddSample(exchange(float64(i), skew, d1, d2))
+	}
+	// One symmetric tight exchange: 200µs RTT, exact offset.
+	e.AddSample(exchange(1000, skew, 0.0001, 0.0001))
+	off, rtt, ok := e.Offset()
+	if !ok || e.Samples() != 201 {
+		t.Fatalf("samples=%d ok=%v", e.Samples(), ok)
+	}
+	if math.Abs(rtt-0.0002) > 1e-12 {
+		t.Errorf("kept rtt %v, want the 0.0002 minimum", rtt)
+	}
+	if math.Abs(off-skew) > 1e-12 {
+		t.Errorf("estimate %v from the tight sample, want %v exactly", off, skew)
+	}
+	// More loose samples afterwards must not displace the minimum.
+	e.AddSample(exchange(2000, skew, 0.01, 0.001))
+	if off2, _, _ := e.Offset(); off2 != off {
+		t.Errorf("a looser sample displaced the min-RTT estimate: %v → %v", off, off2)
+	}
+}
+
+// TestOffsetRejectsNegativeRTT: a clock step mid-exchange yields rtt < 0;
+// the sample must be dropped rather than poisoning the estimate.
+func TestOffsetRejectsNegativeRTT(t *testing.T) {
+	var e OffsetEstimator
+	// t3−t2 > t4−t1 ⇒ negative RTT.
+	e.AddSample(100, 200, 250, 100.001)
+	if _, _, ok := e.Offset(); ok {
+		t.Fatalf("negative-RTT sample was folded in")
+	}
+	if e.Samples() != 0 {
+		t.Fatalf("negative-RTT sample counted: %d", e.Samples())
+	}
+}
+
+// TestOffsetNilSafe: a nil estimator is the valid "no sync" value.
+func TestOffsetNilSafe(t *testing.T) {
+	var e *OffsetEstimator
+	e.AddSample(1, 2, 3, 4)
+	if _, _, ok := e.Offset(); ok {
+		t.Fatalf("nil estimator reports an estimate")
+	}
+	if e.Samples() != 0 || e.ErrorBound() != 0 {
+		t.Fatalf("nil estimator reports state")
+	}
+}
