@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short bench bench-core race distributed fuzz-wire soak soak-short obs-fleet results results-ext faults chaos metrics cover fmt vet lint examples
+.PHONY: all build test test-short bench bench-core race distributed fuzz-wire soak soak-short chaos-dist obs-fleet results results-ext faults chaos metrics cover fmt vet lint examples
 
 all: build vet test
 
@@ -63,6 +63,13 @@ soak:
 # CI-sized soak: 16 processes, no baseline write — a pass/fail scale check.
 soak-short:
 	go run ./cmd/specsoak -procs 16 -iters 80 -chaos
+
+# Distributed chaos gate: a real 4-process fleet under supervision, two
+# seeded SIGKILLs mid-run. Victims respawn with bumped epochs, reclaim
+# their ranks, restore from coordinator custody, and the final field must
+# converge on the fault-free baseline. Exits non-zero on any divergence.
+chaos-dist:
+	go run ./cmd/specsoak -procs 4 -iters 2500 -kill 2 -kill-seed 7
 
 # Fleet observability gate: a real 4-process cluster with the aggregated
 # metrics plane and cross-process tracing on. -selfcheck fails the run if

@@ -7,7 +7,9 @@
 //
 //	speccoord [-addr host:port] [-app heat|jacobi] [-procs P] [-iters N]
 //	          [-fw W] [-theta θ] [-rows R] [-cols C] [-n N] [-tol T]
-//	          [-checkpoint K] [-delta] [-nobatch] [-spawn] [-http] [-timeout d]
+//	          [-checkpoint K] [-deadline s] [-crash-overrun K] [-delta] [-nobatch]
+//	          [-spawn] [-max-respawns R] [-custody-dir DIR]
+//	          [-node-timeout d] [-rejoin-wait d] [-http] [-timeout d]
 //	          [-fleet host:port] [-job name] [-trace-out file] [-selfcheck] [-hold d]
 //
 // With -spawn, speccoord launches the P node processes itself on
@@ -18,6 +20,19 @@
 //
 // Without -spawn it prints its address and waits for externally started
 // specnodes (same machine or remote).
+//
+// Crash tolerance: with -spawn every node runs under a supervisor — a
+// child that dies (kill -9 included) is relaunched with a bumped
+// incarnation epoch and capped exponential backoff, reclaims its old rank
+// from the coordinator, restores from checkpoint custody, and rejoins the
+// mesh; -max-respawns bounds the budget. Child stdout/stderr is prefixed
+// with "[node N]" and a child that ultimately fails makes speccoord itself
+// exit non-zero. -custody-dir makes checkpoint custody durable: per-rank
+// blobs are persisted there (atomic replace, CRC-sealed), and a restarted
+// speccoord on the same directory resumes the previous incarnation's
+// custody instead of losing the run's checkpoints. -node-timeout vacates a
+// node whose control connection goes silent; -rejoin-wait bounds how long
+// a vacated rank may stay unclaimed before the run fails.
 //
 // The fleet plane: -fleet serves ONE aggregated Prometheus endpoint for the
 // whole run (every node's series re-labelled with job/node) plus a /fleet
@@ -38,8 +53,10 @@ import (
 	nethttp "net/http"
 	"os"
 	"os/exec"
+	"strconv"
 	"time"
 
+	"specomp/internal/checkpoint"
 	"specomp/internal/distnet"
 	"specomp/internal/trace"
 )
@@ -59,9 +76,15 @@ func main() {
 		tol       = flag.Float64("tol", 0, "jacobi convergence tolerance (0 = run all iterations)")
 		seed      = flag.Int64("seed", 1, "problem seed (jacobi)")
 		ckpt      = flag.Int("checkpoint", 0, "checkpoint every K iterations (0 = off)")
+		deadline  = flag.Float64("deadline", 0, "per-iteration wall-clock deadline in seconds (0 = off; enables graceful degradation and crash bridging)")
+		crashOver = flag.Int("crash-overrun", 0, "extra speculative iterations past a dead peer (0 = engine default)")
 		delta     = flag.Bool("delta", false, "enable the delta codec on batch frames")
 		nobatch   = flag.Bool("nobatch", false, "disable frame batching (per-message wire baseline)")
-		spawn     = flag.Bool("spawn", false, "launch the node processes locally")
+		spawn     = flag.Bool("spawn", false, "launch the node processes locally, each under a supervisor")
+		respawns  = flag.Int("max-respawns", 3, "how many times a crashed spawned node is relaunched before giving up")
+		custody   = flag.String("custody-dir", "", "persist checkpoint custody here (atomic per-rank files); a restarted coordinator resumes it")
+		nodeTO    = flag.Duration("node-timeout", 10*time.Second, "vacate a node whose control connection is silent this long (negative = off)")
+		rejoinW   = flag.Duration("rejoin-wait", 30*time.Second, "fail the run if a vacated rank stays unclaimed this long")
 		http      = flag.Bool("http", false, "spawned nodes serve /metrics and /journal on ephemeral ports")
 		timeout   = flag.Duration("timeout", 5*time.Minute, "overall run timeout")
 		jsonOut   = flag.Bool("json", false, "print the reports as JSON instead of a table")
@@ -73,7 +96,8 @@ func main() {
 		hold      = flag.Duration("hold", 0, "keep the fleet endpoint up this long after the run (for scraping)")
 
 		// Node mode, used by -spawn to re-execute this binary as a specnode.
-		join = flag.String("join", "", "internal: run as a node against this coordinator")
+		join  = flag.String("join", "", "internal: run as a node against this coordinator")
+		epoch = flag.Int("epoch", 0, "internal: incarnation epoch of this node process")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "speccoord ", log.Ltime|log.Lmicroseconds)
@@ -86,12 +110,13 @@ func main() {
 		res, err := distnet.RunNode(distnet.NodeConfig{
 			Coord:    *join,
 			HTTPAddr: httpAddr,
+			Epoch:    *epoch,
 			Logf:     func(format string, args ...any) { logger.Printf(format, args...) },
 		})
 		if err != nil {
 			logger.Fatalf("node: %v", err)
 		}
-		logger.Printf("node rank %d finished after %v", res.Rank, res.Wall)
+		logger.Printf("node rank %d (epoch %d) finished after %v", res.Rank, *epoch, res.Wall)
 		return
 	}
 
@@ -99,10 +124,20 @@ func main() {
 		App: *app, Procs: *procs, MaxIter: *iters, FW: *fw, BW: *bw,
 		Theta: *theta, Rows: *rows, Cols: *cols, N: *n, Tol: *tol,
 		Seed: *seed, CheckpointEvery: *ckpt,
+		Deadline: *deadline, MaxCrashOverrun: *crashOver,
 		Wire:      distnet.WireSpec{Delta: *delta, NoBatch: *nobatch},
 		Job:       *job,
 		ObsPushMS: *obsPush,
 		Trace:     *traceOut != "",
+	}
+
+	// Durable custody: checkpoint blobs survive the coordinator process.
+	var store *checkpoint.FileStore
+	if *custody != "" {
+		var err error
+		if store, err = checkpoint.NewFileStore(*custody); err != nil {
+			logger.Fatalf("%v", err)
+		}
 	}
 
 	// The fleet metrics plane: one aggregated endpoint for the whole run.
@@ -120,43 +155,94 @@ func main() {
 		fmt.Printf("fleet metrics on http://%s/metrics (status: /fleet)\n", ln.Addr())
 	}
 
-	coord, err := distnet.NewCoordinator(distnet.CoordConfig{
+	cfg := distnet.CoordConfig{
 		Addr: *addr, Spec: spec, Timeout: *timeout, Fleet: fleet,
+		NodeTimeout: *nodeTO, RejoinWait: *rejoinW,
 		Logf: func(format string, args ...any) { logger.Printf(format, args...) },
-	})
+	}
+	if store != nil {
+		cfg.Custody = store
+	}
+	coord, err := distnet.NewCoordinator(cfg)
 	if err != nil {
 		logger.Fatalf("%v", err)
 	}
 	fmt.Printf("coordinator listening on %s (waiting for %d nodes)\n", coord.Addr(), coord.Spec().Procs)
 
-	var nodes []*exec.Cmd
+	// With -spawn every node slot runs under a supervisor: a child that
+	// dies is relaunched with a bumped epoch (the rejoin credential) until
+	// the respawn budget runs out; its output is line-prefixed so the
+	// interleaved fleet stays readable.
+	var (
+		sups     []*distnet.Supervisor
+		prefixes []*distnet.PrefixWriter
+	)
 	if *spawn {
 		self, err := os.Executable()
 		if err != nil {
 			self = os.Args[0]
 		}
 		for i := 0; i < coord.Spec().Procs; i++ {
-			args := []string{"-join", coord.Addr()}
-			if *http {
-				args = append(args, "-http")
-			}
-			cmd := exec.Command(self, args...)
-			cmd.Stdout = os.Stderr
-			cmd.Stderr = os.Stderr
-			if err := cmd.Start(); err != nil {
+			pw := distnet.NewPrefixWriter(os.Stderr, fmt.Sprintf("[node %d] ", i))
+			sup, err := distnet.Supervise(distnet.SuperviseConfig{
+				Start: func(epoch int) (*exec.Cmd, error) {
+					args := []string{"-join", coord.Addr(), "-epoch", strconv.Itoa(epoch)}
+					if *http {
+						args = append(args, "-http")
+					}
+					cmd := exec.Command(self, args...)
+					cmd.Stdout = pw
+					cmd.Stderr = pw
+					return cmd, nil
+				},
+				MaxRespawns: *respawns,
+				Logf:        logger.Printf,
+			})
+			if err != nil {
 				logger.Fatalf("spawning node %d: %v", i, err)
 			}
-			nodes = append(nodes, cmd)
+			sups = append(sups, sup)
+			prefixes = append(prefixes, pw)
 		}
-		logger.Printf("spawned %d local node processes", len(nodes))
+		logger.Printf("spawned %d supervised local node processes (respawn budget %d each)", len(sups), *respawns)
 	}
 
 	reports, err := coord.Wait()
-	for _, cmd := range nodes {
-		_ = cmd.Wait()
-	}
 	if err != nil {
+		for _, sup := range sups {
+			sup.Stop()
+		}
 		logger.Fatalf("%v", err)
+	}
+	// The run succeeded; the children exit on the shutdown broadcast. A
+	// child outcome that is not a clean exit — a launch failure or a node
+	// that kept dying past its budget — is this process's failure too.
+	childFailed := false
+	for i, sup := range sups {
+		if werr := sup.Wait(); werr != nil {
+			logger.Printf("node %d: %v", i, werr)
+			childFailed = true
+		}
+	}
+	for _, pw := range prefixes {
+		_ = pw.Flush()
+	}
+	if st := coord.Stats(); st.Vacated > 0 || st.CustodyRestores > 0 {
+		logger.Printf("crash tolerance: %d vacated, %d rejoined, %d custody saves, %d custody restores",
+			st.Vacated, st.Rejoins, st.CustodySaves, st.CustodyRestores)
+	}
+	if store != nil {
+		if werr := store.Err(); werr != nil {
+			logger.Printf("warning: custody writes degraded: %v", werr)
+		}
+		// The run completed: its custody has served its purpose, and leaving
+		// final-iteration checkpoints behind would poison the next run
+		// started on this directory.
+		if werr := store.Clear(); werr != nil {
+			logger.Printf("warning: %v", werr)
+		} else {
+			logger.Printf("custody cleared (run complete)")
+		}
 	}
 
 	if *selfcheck {
@@ -190,12 +276,15 @@ func main() {
 			logger.Fatalf("%v", err)
 		}
 	} else {
-		fmt.Printf("%-4s %-21s %-9s %6s %6s %5s %7s %8s %9s %10s\n",
-			"rank", "addr", "converged", "iters", "specs", "bad", "repairs", "wall", "msgs", "bytes")
+		fmt.Printf("%-4s %-21s %-9s %5s %6s %6s %5s %7s %8s %9s %10s\n",
+			"rank", "addr", "converged", "epoch", "iters", "specs", "bad", "repairs", "wall", "msgs", "bytes")
 		for _, r := range reports {
-			fmt.Printf("%-4d %-21s %-9v %6d %6d %5d %7d %7.3fs %9d %10d\n",
-				r.Rank, r.Addr, r.Converged, r.Iters, r.SpecsMade, r.SpecsBad,
+			fmt.Printf("%-4d %-21s %-9v %5d %6d %6d %5d %7d %7.3fs %9d %10d\n",
+				r.Rank, r.Addr, r.Converged, r.Epoch, r.Iters, r.SpecsMade, r.SpecsBad,
 				r.Repairs, r.WallSec, r.MsgsSent, r.BytesSent)
+			if r.Epoch > 0 {
+				fmt.Printf("     └─ respawned incarnation: %d checkpoint restore(s) from custody\n", r.Restores)
+			}
 			if r.HTTP != "" {
 				fmt.Printf("     └─ served http://%s/metrics and /journal during the run\n", r.HTTP)
 			}
@@ -205,5 +294,8 @@ func main() {
 	if *hold > 0 && fleet != nil && *fleetAddr != "" {
 		logger.Printf("holding the fleet endpoint open for %v", *hold)
 		time.Sleep(*hold)
+	}
+	if childFailed {
+		os.Exit(1)
 	}
 }

@@ -9,7 +9,8 @@
 // Usage:
 //
 //	specsoak [-procs 64] [-iters 150] [-chaos] [-delta] [-nobatch]
-//	         [-journal-dir DIR] [-o BENCH_core.json] [-timeout 5m]
+//	         [-kill N] [-kill-seed S] [-journal-dir DIR]
+//	         [-o BENCH_core.json] [-timeout 5m]
 //
 // With -o, the soak series are merged into the existing report (other
 // series are kept); without it the summary only prints. The coordinator
@@ -17,6 +18,16 @@
 // also records fleet-level wire series — mean batch occupancy and delta
 // compression ratio — that no single process can see. -journal-dir makes
 // every node stream its run journal to a size-capped JSONL file there.
+//
+// The kill soak: -kill N runs the fleet twice — once fault-free to record
+// the baseline field and wall time, then again under a seeded
+// faults.CrashSchedule that SIGKILLs N live node processes mid-run. Every
+// node runs under a supervisor, so each victim respawns with a bumped
+// epoch, reclaims its rank, restores from coordinator custody, and the
+// final field is asserted to converge on the fault-free baseline (and the
+// serial reference) within the speculation tolerance. specsoak exits
+// non-zero when convergence fails — this is the chaos gate CI runs.
+// Throughput series are never recorded from a kill run.
 package main
 
 import (
@@ -29,6 +40,7 @@ import (
 	"strconv"
 	"time"
 
+	"specomp/internal/apps/heat"
 	"specomp/internal/benchfmt"
 	"specomp/internal/distnet"
 	"specomp/internal/faults"
@@ -49,32 +61,147 @@ func chaosModel() netmodel.Model {
 	}
 }
 
+// fleetRun is one coordinator + P node processes driven to completion.
+type fleetRun struct {
+	reports []distnet.NodeReport
+	fleet   *distnet.FleetObs
+	stats   distnet.CoordStats
+	// respawns sums supervisor relaunches across the fleet (kill runs only).
+	respawns int
+}
+
+// runFleet executes one whole multi-process run. With a kill schedule the
+// nodes run supervised and a killer goroutine SIGKILLs the scheduled slots
+// at their wall-clock offsets; without one the nodes are plain children.
+func runFleet(logger *log.Logger, self string, spec distnet.RunSpec, timeout time.Duration,
+	chaos bool, jdir string, jmax int64, kills faults.CrashSchedule) (*fleetRun, error) {
+
+	fleet := distnet.NewFleetObs(spec.Job)
+	coord, err := distnet.NewCoordinator(distnet.CoordConfig{Spec: spec, Timeout: timeout, Fleet: fleet})
+	if err != nil {
+		return nil, err
+	}
+	spec = coord.Spec()
+
+	nodeArgs := func(slot, epoch int) []string {
+		args := []string{"-join", coord.Addr(), "-epoch", strconv.Itoa(epoch)}
+		if chaos {
+			args = append(args, "-seed", strconv.Itoa(1000+slot))
+		}
+		if len(kills) > 0 {
+			// Tight heartbeats so survivors detect the victim and bridge on
+			// speculation well inside the downtime window.
+			args = append(args, "-hb-ms", "500")
+		}
+		if jdir != "" {
+			args = append(args, "-journal-dir", jdir, "-journal-max", strconv.FormatInt(jmax, 10))
+		}
+		return args
+	}
+
+	var (
+		plain []*exec.Cmd
+		sups  []*distnet.Supervisor
+	)
+	if len(kills) == 0 {
+		for i := 0; i < spec.Procs; i++ {
+			cmd := exec.Command(self, nodeArgs(i, 0)...)
+			cmd.Stdout = os.Stderr
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				return nil, fmt.Errorf("spawning node %d: %v", i, err)
+			}
+			plain = append(plain, cmd)
+		}
+	} else {
+		for i := 0; i < spec.Procs; i++ {
+			slot := i
+			sup, err := distnet.Supervise(distnet.SuperviseConfig{
+				Start: func(epoch int) (*exec.Cmd, error) {
+					cmd := exec.Command(self, nodeArgs(slot, epoch)...)
+					cmd.Stdout = os.Stderr
+					cmd.Stderr = os.Stderr
+					return cmd, nil
+				},
+				Logf: logger.Printf,
+			})
+			if err != nil {
+				return nil, err
+			}
+			sups = append(sups, sup)
+		}
+		// The killer: SIGKILL each scheduled slot at its wall-clock offset
+		// from spawn. The schedule's Downtime is advisory here — a real
+		// process's outage is the supervisor's detect + backoff + relaunch
+		// + rejoin latency.
+		start := time.Now()
+		go func() {
+			for _, ev := range kills {
+				time.Sleep(time.Until(start.Add(time.Duration(ev.At * float64(time.Second)))))
+				logger.Printf("kill schedule: SIGKILL slot %d at +%.2fs", ev.Proc, time.Since(start).Seconds())
+				sups[ev.Proc].Kill()
+			}
+		}()
+	}
+
+	reports, err := coord.Wait()
+	for _, sup := range sups {
+		// The run's verdict is the coordinator's; stop the supervisors so a
+		// child killed after its result is not pointlessly relaunched.
+		sup.Stop()
+	}
+	for _, cmd := range plain {
+		_ = cmd.Wait()
+	}
+	run := &fleetRun{fleet: fleet, stats: coord.Stats()}
+	for _, sup := range sups {
+		if werr := sup.Wait(); werr != nil {
+			logger.Printf("warning: supervisor latched %v", werr)
+		}
+		run.respawns += sup.Respawns()
+	}
+	if err != nil {
+		return nil, err
+	}
+	run.reports = reports
+	return run, nil
+}
+
 func main() {
 	var (
-		procs   = flag.Int("procs", 64, "number of node processes")
-		iters   = flag.Int("iters", 150, "iterations per node")
-		fw      = flag.Int("fw", 2, "forward speculation window")
-		theta   = flag.Float64("theta", 1e-3, "speculation acceptance threshold θ")
-		chaos   = flag.Bool("chaos", false, "inject duplicates and delay spikes on every node's send path")
-		delta   = flag.Bool("delta", false, "enable the delta codec on batch frames")
-		nobatch = flag.Bool("nobatch", false, "disable frame batching (per-message baseline)")
-		out     = flag.String("o", "", "merge Soak* series into this benchfmt report (e.g. BENCH_core.json)")
-		timeout = flag.Duration("timeout", 5*time.Minute, "overall run timeout")
-		jdir    = flag.String("journal-dir", "", "stream each node's run journal to node-R.jsonl under this directory")
-		jmax    = flag.Int64("journal-max", 64<<20, "per-node journal size cap in bytes before rotation")
+		procs    = flag.Int("procs", 64, "number of node processes")
+		iters    = flag.Int("iters", 150, "iterations per node")
+		fw       = flag.Int("fw", 2, "forward speculation window")
+		theta    = flag.Float64("theta", 1e-3, "speculation acceptance threshold θ")
+		chaos    = flag.Bool("chaos", false, "inject duplicates and delay spikes on every node's send path")
+		delta    = flag.Bool("delta", false, "enable the delta codec on batch frames")
+		nobatch  = flag.Bool("nobatch", false, "disable frame batching (per-message baseline)")
+		kill     = flag.Int("kill", 0, "SIGKILL this many live nodes mid-run on a seeded schedule and gate on convergence")
+		killSeed = flag.Int64("kill-seed", 1, "seed of the kill schedule")
+		ckpt     = flag.Int("checkpoint", 5, "checkpoint every K iterations during a kill run")
+		deadline = flag.Float64("deadline", 0.25, "per-iteration wall-clock deadline (s) during a kill run")
+		out      = flag.String("o", "", "merge Soak* series into this benchfmt report (e.g. BENCH_core.json)")
+		timeout  = flag.Duration("timeout", 5*time.Minute, "overall run timeout")
+		jdir     = flag.String("journal-dir", "", "stream each node's run journal to node-R.jsonl under this directory")
+		jmax     = flag.Int64("journal-max", 64<<20, "per-node journal size cap in bytes before rotation")
 
 		// Node mode, used internally to re-execute this binary as one rank.
-		join = flag.String("join", "", "internal: run as a node against this coordinator")
-		seed = flag.Int64("seed", 0, "internal: chaos seed for this node (0 = no chaos)")
+		join  = flag.String("join", "", "internal: run as a node against this coordinator")
+		seed  = flag.Int64("seed", 0, "internal: chaos seed for this node (0 = no chaos)")
+		epoch = flag.Int("epoch", 0, "internal: incarnation epoch of this node process")
+		hbms  = flag.Int("hb-ms", 0, "internal: heartbeat staleness window in ms (0 = default)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "specsoak ", log.Ltime|log.Lmicroseconds)
 
 	if *join != "" {
-		cfg := distnet.NodeConfig{Coord: *join, JournalDir: *jdir, JournalMaxBytes: *jmax}
+		cfg := distnet.NodeConfig{Coord: *join, Epoch: *epoch, JournalDir: *jdir, JournalMaxBytes: *jmax}
 		if *seed != 0 {
 			cfg.Faults = chaosModel()
 			cfg.FaultSeed = *seed
+		}
+		if *hbms > 0 {
+			cfg.HeartbeatTimeout = time.Duration(*hbms) * time.Millisecond
 		}
 		if _, err := distnet.RunNode(cfg); err != nil {
 			logger.Fatalf("node: %v", err)
@@ -91,44 +218,27 @@ func main() {
 		Wire: distnet.WireSpec{Delta: *delta, NoBatch: *nobatch},
 		Job:  "soak",
 	}
-	fleet := distnet.NewFleetObs("soak")
-	coord, err := distnet.NewCoordinator(distnet.CoordConfig{Spec: spec, Timeout: *timeout, Fleet: fleet})
-	if err != nil {
-		logger.Fatalf("%v", err)
-	}
-	spec = coord.Spec()
-	logger.Printf("soaking %d processes × %d iters (chaos=%v delta=%v nobatch=%v) via %s",
-		spec.Procs, spec.MaxIter, *chaos, *delta, *nobatch, coord.Addr())
-
 	self, err := os.Executable()
 	if err != nil {
 		self = os.Args[0]
 	}
-	nodes := make([]*exec.Cmd, 0, spec.Procs)
-	for i := 0; i < spec.Procs; i++ {
-		args := []string{"-join", coord.Addr()}
-		if *chaos {
-			args = append(args, "-seed", strconv.Itoa(1000+i))
-		}
-		if *jdir != "" {
-			args = append(args, "-journal-dir", *jdir, "-journal-max", strconv.FormatInt(*jmax, 10))
-		}
-		cmd := exec.Command(self, args...)
-		cmd.Stdout = os.Stderr
-		cmd.Stderr = os.Stderr
-		if err := cmd.Start(); err != nil {
-			logger.Fatalf("spawning node %d: %v", i, err)
-		}
-		nodes = append(nodes, cmd)
+
+	if *kill > 0 {
+		// Crash tolerance is judged against the fault-free answer, so a kill
+		// run needs checkpoints to restore from and a deadline so survivors
+		// bridge the outage on speculation instead of blocking.
+		spec.CheckpointEvery = *ckpt
+		spec.Deadline = *deadline
+		spec.MaxCrashOverrun = 8
+		runKillSoak(logger, self, spec, *timeout, *chaos, *jdir, *jmax, *kill, *killSeed)
+		return
 	}
 
-	reports, err := coord.Wait()
-	for _, cmd := range nodes {
-		_ = cmd.Wait()
-	}
+	run, err := runFleet(logger, self, spec, *timeout, *chaos, *jdir, *jmax, nil)
 	if err != nil {
 		logger.Fatalf("%v", err)
 	}
+	reports, fleet := run.reports, run.fleet
 
 	// Every rank must have run the full schedule: a node that silently
 	// stalled or shed iterations voids the soak.
@@ -232,4 +342,96 @@ func main() {
 		logger.Fatalf("%v", err)
 	}
 	logger.Printf("merged %d Soak* series into %s", len(series), *out)
+}
+
+// convergeTol is the speculation tolerance every substrate's heat runs are
+// judged by (the same bound the distnet and simulator tests use).
+const convergeTol = 0.5
+
+// runKillSoak runs the fault-free baseline, then the same fleet under a
+// seeded SIGKILL schedule, and gates on the crashed run converging to the
+// baseline. Exits the process non-zero on any failed assertion.
+func runKillSoak(logger *log.Logger, self string, spec distnet.RunSpec, timeout time.Duration,
+	chaos bool, jdir string, jmax int64, kills int, killSeed int64) {
+
+	logger.Printf("kill soak: fault-free baseline first (P=%d, %d iters)", spec.Procs, spec.MaxIter)
+	base, err := runFleet(logger, self, spec, timeout, chaos, jdir, jmax, nil)
+	if err != nil {
+		logger.Fatalf("baseline run: %v", err)
+	}
+	baseField, err := distnet.AssembleHeat(spec, base.reports)
+	if err != nil {
+		logger.Fatalf("baseline run: %v", err)
+	}
+	baseWall := 0.0
+	for _, r := range base.reports {
+		baseWall = max(baseWall, r.WallSec)
+	}
+
+	// The schedule spreads the kills over the meat of the run, scaled to the
+	// measured baseline wall time; the floor keeps a kill from landing while
+	// the mesh is still assembling. The crashed run only ever takes longer
+	// than the baseline, so the window stays mid-run.
+	from := max(0.15*baseWall, 0.5)
+	until := max(0.65*baseWall, from+0.5)
+	sched := faults.Chaos(killSeed, spec.Procs, kills, from, until, 0.2, 0.5)
+	for _, ev := range sched {
+		logger.Printf("kill schedule: slot %d at +%.2fs", ev.Proc, ev.At)
+	}
+
+	logger.Printf("kill soak: crash run under supervision (%d scheduled SIGKILLs, seed %d)", len(sched), killSeed)
+	crash, err := runFleet(logger, self, spec, timeout, chaos, jdir, jmax, sched)
+	if err != nil {
+		logger.Fatalf("crash run did not survive the kill schedule: %v", err)
+	}
+	crashField, err := distnet.AssembleHeat(spec, crash.reports)
+	if err != nil {
+		logger.Fatalf("crash run: %v", err)
+	}
+
+	revived := 0
+	for _, r := range crash.reports {
+		if r.Epoch > 0 {
+			revived++
+		}
+	}
+	fmt.Printf("kill soak P=%d iters=%d: %d SIGKILLs, %d respawns, %d ranks vacated, %d rejoined, %d revived results\n",
+		spec.Procs, spec.MaxIter, len(sched), crash.respawns, crash.stats.Vacated, crash.stats.Rejoins, revived)
+
+	failed := false
+	if crash.respawns < len(sched) {
+		// A kill that fired after a node's clean exit triggers no respawn;
+		// every kill that hit a live node must have.
+		logger.Printf("note: %d respawns for %d scheduled kills (some kills landed after node completion)",
+			crash.respawns, len(sched))
+	}
+	if crash.stats.Rejoins < crash.stats.Vacated {
+		logger.Printf("FAIL: %d vacated ranks but only %d rejoins", crash.stats.Vacated, crash.stats.Rejoins)
+		failed = true
+	}
+	for _, r := range crash.reports {
+		if r.Iters != spec.MaxIter {
+			logger.Printf("FAIL: rank %d ran %d/%d iterations", r.Rank, r.Iters, spec.MaxIter)
+			failed = true
+		}
+	}
+
+	// The gate: the crashed fleet lands on the fault-free answer.
+	serial := heat.DefaultGrid(spec.Rows, spec.Cols).SerialRun(spec.MaxIter)
+	dBase := heat.MaxDiff(crashField, baseField)
+	dSerial := heat.MaxDiff(crashField, serial)
+	fmt.Printf("  convergence  max|Δ| vs fault-free baseline %.4g, vs serial reference %.4g (tolerance %g)\n",
+		dBase, dSerial, convergeTol)
+	if dBase > convergeTol {
+		logger.Printf("FAIL: crashed run deviates %g from the fault-free baseline", dBase)
+		failed = true
+	}
+	if dSerial > convergeTol {
+		logger.Printf("FAIL: crashed run deviates %g from the serial reference", dSerial)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+	logger.Printf("kill soak passed: crash-tolerant run converged on the fault-free baseline")
 }

@@ -15,18 +15,41 @@ package distnet
 //	node  → coord   checkpoint {proc, blob}                      (0..n times during the run)
 //	node  → coord   result  {json}
 //	coord → node    shutdown                                     (after P results)
+//
+// Crash tolerance (this is where the paper's speculation pays off in real
+// processes): a node whose control connection dies or goes silent before
+// its result VACATES its rank instead of failing the run. A later hello
+// carrying epoch > 0 reclaims the lowest vacated rank — the respawned
+// process is stateless until configured, so any vacancy fits — and receives
+// its config plus the latest custody checkpoint to restore from. Survivors
+// bridge the gap on speculation (the engine's MaxCrashOverrun path). Only a
+// vacancy nobody reclaims within RejoinWait fails the run, with an error
+// naming both the loss (ErrRankLost) and its cause (e.g. ErrNodeSilent).
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"specomp/internal/checkpoint"
 	"specomp/internal/obs"
 )
+
+// ErrNodeSilent reports a node whose control connection produced no frame
+// (data, checkpoint, obs push or heartbeat) for longer than the coordinator's
+// staleness window. The connection may still be open — silence is the
+// verdict, same as the mesh's heartbeat detector.
+var ErrNodeSilent = errors.New("distnet: node control connection silent past staleness window")
+
+// ErrRankLost reports a vacated rank that no rejoining node reclaimed
+// within the coordinator's rejoin window.
+var ErrRankLost = errors.New("distnet: rank lost and not reclaimed within rejoin window")
 
 // CoordConfig parameterizes a coordinator.
 type CoordConfig struct {
@@ -37,6 +60,22 @@ type CoordConfig struct {
 	Spec RunSpec
 	// Timeout bounds the whole run, join to last result (default 5m).
 	Timeout time.Duration
+	// NodeTimeout is the control-plane staleness window: a node whose
+	// coordinator connection carried no frame for this long mid-run is
+	// declared dead and its rank vacated (default 10s; negative disables).
+	// Nodes heartbeat their coordinator link, so a healthy-but-quiet node
+	// never trips this.
+	NodeTimeout time.Duration
+	// RejoinWait bounds how long a vacated rank may stay unclaimed before
+	// the run fails with ErrRankLost (default 30s). It should cover the
+	// supervisor's detect + backoff + restart + redial path.
+	RejoinWait time.Duration
+	// Custody, when non-nil, is durable storage for checkpoint custody:
+	// every checkpoint frame is persisted there, and at startup any blobs
+	// it already holds for ranks 0..Procs-1 seed the in-memory custody — a
+	// restarted coordinator resumes the run's checkpoints instead of
+	// losing them.
+	Custody checkpoint.Store
 	// Fleet, when non-nil, aggregates the nodes' metrics snapshots: the
 	// coordinator advertises CapObs in its configs (inviting periodic
 	// pushes) and feeds every obs frame into it.
@@ -60,6 +99,11 @@ type NodeReport struct {
 	CommSec   float64 `json:"comm_sec"`
 	MsgsSent  int     `json:"msgs_sent"`
 	BytesSent int     `json:"bytes_sent"`
+	// Crash-tolerance outcome: the incarnation epoch that produced this
+	// result (> 0 means a supervisor respawned the node at least once) and
+	// how many checkpoint restores the engine performed.
+	Epoch    int `json:"epoch,omitempty"`
+	Restores int `json:"restores,omitempty"`
 	// Wire-plane throughput measures (see resultMsg): messages delivered to
 	// the engine, physical frames written (batching ⇒ FramesSent ≪
 	// MsgsSent), delivery-latency percentiles, and whole-process heap
@@ -79,28 +123,51 @@ type NodeReport struct {
 	Final     []float64   `json:"final,omitempty"`
 }
 
+// CoordStats counts the coordinator's crash-tolerance events over one run.
+type CoordStats struct {
+	// Vacated counts rank vacancies declared before a result arrived
+	// (connection loss or control-plane silence).
+	Vacated int
+	// Rejoins counts vacated ranks reclaimed by a higher-epoch hello.
+	Rejoins int
+	// CustodySaves counts checkpoint blobs persisted to durable custody.
+	CustodySaves int
+	// CustodyRestores counts ranks whose checkpoint was recovered from
+	// durable custody at coordinator startup.
+	CustodyRestores int
+}
+
 // Coordinator runs the membership/barrier/result protocol for one run.
 type Coordinator struct {
 	ln   net.Listener
 	spec RunSpec
 	cfg  CoordConfig
 
-	mu     sync.Mutex
-	ckpts  map[int][]byte // latest snapshot per rank (checkpoint custody)
-	closed bool
+	mu      sync.Mutex
+	ckpts   map[int][]byte // latest snapshot per rank (checkpoint custody)
+	members []*coordMember // by rank, populated once gather completes
+	stats   CoordStats
+	closed  bool
 
 	done    chan struct{}
 	reports []NodeReport
 	runErr  error
 }
 
-// coordMember is one joined node from the coordinator's side.
+// coordMember is one joined node from the coordinator's side. The conn and
+// epoch are replaced when a respawned node reclaims the rank; gen
+// disambiguates the old connection's reader from the new one's.
 type coordMember struct {
 	rank  int
 	addr  string
 	epoch int
+	gen   int
 	conn  net.Conn
 	wmu   sync.Mutex // serializes control-frame writes
+
+	// lastSeen is the unix-nano arrival time of the most recent frame on
+	// the current connection, feeding control-plane staleness detection.
+	lastSeen atomic.Int64
 }
 
 func (m *coordMember) write(f *Frame) error {
@@ -123,6 +190,12 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 5 * time.Minute
 	}
+	if cfg.NodeTimeout == 0 {
+		cfg.NodeTimeout = 10 * time.Second
+	}
+	if cfg.RejoinWait <= 0 {
+		cfg.RejoinWait = 30 * time.Second
+	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("distnet: coordinator listener: %w", err)
@@ -133,6 +206,21 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 		cfg:   cfg,
 		ckpts: make(map[int][]byte),
 		done:  make(chan struct{}),
+	}
+	// Durable custody: a restarted coordinator resumes the previous
+	// incarnation's checkpoints, so relaunched nodes restore mid-run state
+	// instead of recomputing from iteration zero.
+	if cfg.Custody != nil {
+		for rank := 0; rank < c.spec.Procs; rank++ {
+			if blob, ok := cfg.Custody.Load(rank); ok {
+				c.ckpts[rank] = blob
+				c.stats.CustodyRestores++
+			}
+		}
+		if c.stats.CustodyRestores > 0 {
+			c.logf("custody: restored checkpoints for %d/%d ranks from durable store",
+				c.stats.CustodyRestores, c.spec.Procs)
+		}
 	}
 	if cfg.Fleet != nil {
 		cfg.Fleet.SetJob(c.spec.Job)
@@ -155,6 +243,13 @@ func (c *Coordinator) Checkpoint(rank int) ([]byte, bool) {
 	return b, ok
 }
 
+// Stats returns the crash-tolerance counters accumulated so far.
+func (c *Coordinator) Stats() CoordStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
 // Wait blocks until every node reported its result (returning the reports
 // sorted by rank) or the run failed.
 func (c *Coordinator) Wait() ([]NodeReport, error) {
@@ -162,14 +257,25 @@ func (c *Coordinator) Wait() ([]NodeReport, error) {
 	return c.reports, c.runErr
 }
 
-// Close aborts the run and releases the listener.
+// Close aborts the run: releases the listener and severs every member
+// connection (nodes observe a dead coordinator — the shape a coordinator
+// crash has from the outside).
 func (c *Coordinator) Close() {
 	c.mu.Lock()
 	closed := c.closed
 	c.closed = true
+	var conns []net.Conn
+	for _, m := range c.members {
+		if m != nil && m.conn != nil {
+			conns = append(conns, m.conn)
+		}
+	}
 	c.mu.Unlock()
 	if !closed {
 		_ = c.ln.Close()
+		for _, conn := range conns {
+			_ = conn.Close()
+		}
 	}
 }
 
@@ -179,9 +285,49 @@ func (c *Coordinator) logf(format string, args ...any) {
 	}
 }
 
+// keepCheckpoint records a checkpoint blob in custody (memory + durable
+// store when configured).
+func (c *Coordinator) keepCheckpoint(rank int, blob []byte) {
+	c.mu.Lock()
+	c.ckpts[rank] = blob
+	if c.cfg.Custody != nil {
+		c.stats.CustodySaves++
+	}
+	c.mu.Unlock()
+	if c.cfg.Custody != nil {
+		c.cfg.Custody.Save(rank, blob)
+	}
+}
+
+// coordEvent is one frame (or read error) from one member's connection.
+// gen identifies the connection incarnation, so a replaced connection's
+// trailing error cannot vacate the rank its successor now holds.
+type coordEvent struct {
+	rank int
+	gen  int
+	f    Frame
+	err  error
+}
+
+// vacatedRank tracks an unowned rank awaiting a rejoin.
+type vacatedRank struct {
+	at    time.Time
+	cause error
+}
+
+// pendingHello is a rejoin hello that arrived before any rank was vacated
+// (the respawned node can outrace the coordinator's detection of the old
+// connection's death); it is parked until a vacancy appears.
+type pendingHello struct {
+	conn  net.Conn
+	hello Frame
+	at    time.Time
+}
+
 // run executes the protocol: accept P hellos, assign ranks in arrival
 // order, distribute configs, relay the start barrier, collect checkpoints
-// and results, broadcast shutdown.
+// and results, broadcast shutdown — vacating and re-filling ranks as nodes
+// crash and rejoin along the way.
 func (c *Coordinator) run() {
 	defer close(c.done)
 	deadline := time.Now().Add(c.cfg.Timeout)
@@ -193,82 +339,214 @@ func (c *Coordinator) run() {
 		c.teardown(members)
 		return
 	}
-	peers := make([]string, p)
+	// By-rank membership, published for Close.
+	byRank := make([]*coordMember, p)
 	for _, m := range members {
+		byRank[m.rank] = m
+	}
+	c.mu.Lock()
+	c.members = byRank
+	c.mu.Unlock()
+
+	peers := make([]string, p)
+	for _, m := range byRank {
 		peers[m.rank] = m.addr
 	}
 	var coordCaps uint32
 	if c.cfg.Fleet != nil {
 		coordCaps |= CapObs // invite metrics-snapshot pushes
 	}
-	for _, m := range members {
+	for _, m := range byRank {
 		c.mu.Lock()
 		ckpt := c.ckpts[m.rank]
 		c.mu.Unlock()
 		blob := encodeJSON(wireConfig{Rank: m.rank, Peers: peers, Spec: c.spec, Checkpoint: ckpt, CoordCaps: coordCaps})
 		if err := m.write(&Frame{Type: FrameConfig, Blob: blob}); err != nil {
 			c.runErr = fmt.Errorf("distnet: sending config to rank %d: %w", m.rank, err)
-			c.teardown(members)
+			c.teardown(byRank)
 			return
 		}
 	}
 	c.logf("membership complete: %d nodes, spec %s/%d iters", p, c.spec.App, c.spec.MaxIter)
 
-	// Event pump: one reader per member feeding a central channel.
-	type event struct {
-		rank int
-		f    Frame
-		err  error
-	}
-	events := make(chan event, p*4)
-	for _, m := range members {
-		m := m
+	// Event pump: one reader per member connection feeding a central
+	// channel, stamping control-plane liveness as it goes.
+	events := make(chan coordEvent, p*4)
+	startReader := func(m *coordMember) {
+		conn, gen := m.conn, m.gen
+		m.lastSeen.Store(time.Now().UnixNano())
 		go func() {
-			br := bufio.NewReader(m.conn)
+			br := bufio.NewReader(conn)
 			for {
 				f, err := readFrame(br)
 				if err != nil {
-					events <- event{rank: m.rank, err: err}
+					events <- coordEvent{rank: m.rank, gen: gen, err: err}
 					return
 				}
-				events <- event{rank: m.rank, f: f}
+				m.lastSeen.Store(time.Now().UnixNano())
+				events <- coordEvent{rank: m.rank, gen: gen, f: f}
 			}
 		}()
 	}
+	for _, m := range byRank {
+		startReader(m)
+	}
 
-	barrierArrived := make(map[int]map[int]bool) // barrier id → ranks arrived
-	results := make(map[int]*resultMsg)
+	// Rejoin acceptor: the listener stays open for the whole run so a
+	// respawned node can come back. Every accepted hello is handed to the
+	// event loop; the acceptor dies with the listener at teardown.
+	helloCh := make(chan pendingHello, p)
+	go func() {
+		for {
+			_ = setAcceptDeadline(c.ln, deadline)
+			conn, err := c.ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				hello, err := readHello(conn, time.Until(deadline))
+				if err != nil {
+					conn.Close()
+					return
+				}
+				select {
+				case helloCh <- pendingHello{conn: conn, hello: hello, at: time.Now()}:
+				case <-c.done:
+					conn.Close()
+				}
+			}()
+		}
+	}()
+
+	var (
+		barrierArrived = make(map[int]map[int]bool) // barrier id → ranks arrived
+		released       = make(map[int]bool)         // barrier ids already released
+		results        = make(map[int]*resultMsg)
+		vacated        = make(map[int]vacatedRank)
+		parked         []pendingHello
+	)
+
+	// vacate declares rank ownerless: its connection is closed, the cause
+	// retained for the eventual ErrRankLost, and any parked rejoin hello
+	// gets a chance to claim it.
+	vacate := func(rank int, cause error) {
+		if _, dup := vacated[rank]; dup || results[rank] != nil {
+			return
+		}
+		m := byRank[rank]
+		_ = m.conn.Close()
+		vacated[rank] = vacatedRank{at: time.Now(), cause: cause}
+		c.mu.Lock()
+		c.stats.Vacated++
+		c.mu.Unlock()
+		c.logf("rank %d vacated: %v (waiting %v for a rejoin)", rank, cause, c.cfg.RejoinWait)
+	}
+
+	// admit hands a vacated rank to a rejoining node: config (with the
+	// custody checkpoint and the rejoin flag) goes out, a fresh reader
+	// takes over, and peers learn the new listen address via the updated
+	// peers slice (later rejoiners dial current addresses).
+	admit := func(ph pendingHello) bool {
+		rank := -1
+		for r := 0; r < p; r++ {
+			if _, ok := vacated[r]; ok && ph.hello.Epoch > byRank[r].epoch {
+				rank = r
+				break
+			}
+		}
+		if rank < 0 {
+			return false
+		}
+		m := byRank[rank]
+		// Under c.mu: Close reads member conns from other goroutines.
+		c.mu.Lock()
+		m.gen++
+		m.conn = ph.conn
+		m.epoch = ph.hello.Epoch
+		m.addr = ph.hello.Addr
+		c.stats.Rejoins++
+		ckpt := c.ckpts[rank]
+		c.mu.Unlock()
+		peers[rank] = ph.hello.Addr
+		delete(vacated, rank)
+		blob := encodeJSON(wireConfig{Rank: rank, Peers: append([]string(nil), peers...), Spec: c.spec,
+			Checkpoint: ckpt, CoordCaps: coordCaps, Rejoin: true})
+		if err := m.write(&Frame{Type: FrameConfig, Blob: blob}); err != nil {
+			vacate(rank, fmt.Errorf("distnet: sending rejoin config: %w", err))
+			return true // the conn was consumed either way
+		}
+		startReader(m)
+		c.logf("rank %d reclaimed by epoch-%d incarnation at %s (%d bytes of custody restored)",
+			rank, m.epoch, m.addr, len(ckpt))
+		return true
+	}
+
+	// Liveness ticks drive both halves of crash detection: silent members
+	// are vacated, and vacancies that outlive RejoinWait fail the run.
+	tickEvery := c.cfg.RejoinWait / 4
+	if c.cfg.NodeTimeout > 0 && c.cfg.NodeTimeout/4 < tickEvery {
+		tickEvery = c.cfg.NodeTimeout / 4
+	}
+	if tickEvery < 10*time.Millisecond {
+		tickEvery = 10 * time.Millisecond
+	}
+	liveness := time.NewTicker(tickEvery)
+	defer liveness.Stop()
+
 	timer := time.NewTimer(time.Until(deadline))
 	defer timer.Stop()
+
+	fail := func(err error) {
+		c.runErr = err
+		for _, ph := range parked {
+			_ = ph.conn.Close()
+		}
+		c.teardown(byRank)
+	}
+
 	for len(results) < p {
 		select {
 		case ev := <-events:
+			m := byRank[ev.rank]
+			if ev.gen != m.gen {
+				continue // stale connection incarnation
+			}
 			if ev.err != nil {
 				if results[ev.rank] == nil {
-					c.runErr = fmt.Errorf("distnet: rank %d connection lost before its result: %w", ev.rank, ev.err)
-					c.teardown(members)
-					return
+					vacate(ev.rank, fmt.Errorf("connection lost before its result: %w", ev.err))
+					// A parked hello may already be waiting for this vacancy.
+					for i, ph := range parked {
+						if admit(ph) {
+							parked = append(parked[:i], parked[i+1:]...)
+							break
+						}
+					}
 				}
 				continue // post-result close is expected
 			}
 			switch ev.f.Type {
 			case FrameBarrier:
 				id := ev.f.Seq
+				if released[id] {
+					// A rejoiner reaching a barrier the fleet already passed:
+					// release it alone, instantly.
+					_ = m.write(&Frame{Type: FrameBarrier, Seq: id})
+					continue
+				}
 				if barrierArrived[id] == nil {
 					barrierArrived[id] = make(map[int]bool)
 				}
 				barrierArrived[id][ev.rank] = true
 				if len(barrierArrived[id]) == p {
 					c.logf("barrier %d released", id)
-					for _, m := range members {
-						_ = m.write(&Frame{Type: FrameBarrier, Seq: id})
+					released[id] = true
+					for _, mm := range byRank {
+						_ = mm.write(&Frame{Type: FrameBarrier, Seq: id})
 					}
 					delete(barrierArrived, id)
 				}
 			case FrameCheckpoint:
-				c.mu.Lock()
-				c.ckpts[ev.f.Rank] = ev.f.Blob
-				c.mu.Unlock()
+				c.keepCheckpoint(ev.f.Rank, ev.f.Blob)
 			case FrameObs:
 				if c.cfg.Fleet != nil {
 					c.cfg.Fleet.Update(ev.rank, ev.f.Blob)
@@ -276,27 +554,78 @@ func (c *Coordinator) run() {
 			case FrameResult:
 				var rm resultMsg
 				if err := json.Unmarshal(ev.f.Blob, &rm); err != nil {
-					c.runErr = fmt.Errorf("distnet: decoding rank %d result: %w", ev.rank, err)
-					c.teardown(members)
+					fail(fmt.Errorf("distnet: decoding rank %d result: %w", ev.rank, err))
 					return
 				}
 				rm.Rank = ev.rank // trust the connection, not the body
 				results[ev.rank] = &rm
-				c.logf("rank %d done: converged=%v iters=%d", ev.rank, rm.Converged, rm.Iters)
+				c.logf("rank %d done: converged=%v iters=%d epoch=%d", ev.rank, rm.Converged, rm.Iters, rm.Epoch)
 			}
+
+		case ph := <-helloCh:
+			if ph.hello.Epoch <= 0 {
+				// A fresh (epoch-0) hello after membership closed: not a
+				// rejoin — an over-spawned or misdirected node.
+				c.logf("rejecting late epoch-0 hello from %s", ph.conn.RemoteAddr())
+				_ = ph.conn.Close()
+				continue
+			}
+			if !admit(ph) {
+				// No vacancy (yet): the respawn outraced our detection of the
+				// old connection dying. Park it; the vacate path retries.
+				parked = append(parked, ph)
+			}
+
+		case <-liveness.C:
+			now := time.Now()
+			if c.cfg.NodeTimeout > 0 {
+				for _, m := range byRank {
+					if results[m.rank] != nil {
+						continue
+					}
+					if _, gone := vacated[m.rank]; gone {
+						continue
+					}
+					if now.Sub(time.Unix(0, m.lastSeen.Load())) > c.cfg.NodeTimeout {
+						vacate(m.rank, fmt.Errorf("no control-plane frame for %v: %w", c.cfg.NodeTimeout, ErrNodeSilent))
+					}
+				}
+			}
+			// Retry parked hellos against any vacancies, dropping expired ones.
+			keep := parked[:0]
+			for _, ph := range parked {
+				if admit(ph) {
+					continue
+				}
+				if now.Sub(ph.at) > c.cfg.RejoinWait {
+					_ = ph.conn.Close()
+					continue
+				}
+				keep = append(keep, ph)
+			}
+			parked = keep
+			for rank, v := range vacated {
+				if now.Sub(v.at) > c.cfg.RejoinWait {
+					fail(fmt.Errorf("distnet: rank %d: %w: %w", rank, ErrRankLost, v.cause))
+					return
+				}
+			}
+
 		case <-timer.C:
-			c.runErr = fmt.Errorf("distnet: run timed out after %v with %d/%d results", c.cfg.Timeout, len(results), p)
-			c.teardown(members)
+			fail(fmt.Errorf("distnet: run timed out after %v with %d/%d results", c.cfg.Timeout, len(results), p))
 			return
 		}
 	}
 
-	for _, m := range members {
+	for _, ph := range parked {
+		_ = ph.conn.Close()
+	}
+	for _, m := range byRank {
 		_ = m.write(&Frame{Type: FrameShutdown})
 	}
 	// Give the shutdown frames a moment on the wire before closing.
 	time.Sleep(50 * time.Millisecond)
-	c.teardown(members)
+	c.teardown(byRank)
 
 	c.reports = make([]NodeReport, 0, p)
 	for rank := 0; rank < p; rank++ {
@@ -308,6 +637,7 @@ func (c *Coordinator) run() {
 			Repairs: rm.Repairs, Overruns: rm.Overruns,
 			WallSec: rm.WallSec, CommSec: rm.CommSec,
 			MsgsSent: rm.MsgsSent, BytesSent: rm.BytesSent,
+			Epoch: rm.Epoch, Restores: rm.Restores,
 			MsgsRecvd: rm.MsgsRecvd, FramesSent: rm.FramesSent,
 			LatP50Sec: rm.LatP50Sec, LatP99Sec: rm.LatP99Sec,
 			AllocsPerMsg: rm.AllocsPerMsg,
@@ -338,6 +668,7 @@ func (c *Coordinator) gather(deadline time.Time) ([]*coordMember, error) {
 			return members, err
 		}
 		m := &coordMember{rank: len(members), addr: hello.Addr, epoch: hello.Epoch, conn: conn}
+		m.lastSeen.Store(time.Now().UnixNano())
 		members = append(members, m)
 		c.logf("node %d joined from %s (peer addr %s, epoch %d)", m.rank, conn.RemoteAddr(), m.addr, m.epoch)
 	}
@@ -347,7 +678,7 @@ func (c *Coordinator) gather(deadline time.Time) ([]*coordMember, error) {
 // teardown closes every member connection and the listener.
 func (c *Coordinator) teardown(members []*coordMember) {
 	for _, m := range members {
-		if m != nil {
+		if m != nil && m.conn != nil {
 			_ = m.conn.Close()
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"strconv"
 	"testing"
 	"time"
 
@@ -18,6 +19,8 @@ import (
 const (
 	helperEnv = "SPECOMP_NODE_HELPER"
 	coordEnv  = "SPECOMP_COORD_ADDR"
+	epochEnv  = "SPECOMP_NODE_EPOCH"    // incarnation epoch (supervised respawns)
+	hbEnv     = "SPECOMP_NODE_HB_TO_MS" // heartbeat staleness window, ms
 )
 
 // TestHelperSpecnode is not a test: it is the node-process body the
@@ -27,15 +30,23 @@ func TestHelperSpecnode(t *testing.T) {
 	if os.Getenv(helperEnv) != "1" {
 		t.Skip("helper process body, not a test")
 	}
-	res, err := RunNode(NodeConfig{
+	cfg := NodeConfig{
 		Coord:    os.Getenv(coordEnv),
 		HTTPAddr: "127.0.0.1:0",
-	})
+	}
+	if v := os.Getenv(epochEnv); v != "" {
+		cfg.Epoch, _ = strconv.Atoi(v)
+	}
+	if v := os.Getenv(hbEnv); v != "" {
+		ms, _ := strconv.Atoi(v)
+		cfg.HeartbeatTimeout = time.Duration(ms) * time.Millisecond
+	}
+	res, err := RunNode(cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "helper node: %v\n", err)
+		fmt.Fprintf(os.Stderr, "helper node (epoch %d): %v\n", cfg.Epoch, err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "helper node rank %d done after %v\n", res.Rank, res.Wall)
+	fmt.Fprintf(os.Stderr, "helper node rank %d (epoch %d) done after %v\n", res.Rank, cfg.Epoch, res.Wall)
 	os.Exit(0)
 }
 

@@ -20,6 +20,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"specomp/internal/checkpoint"
@@ -113,7 +114,12 @@ type transport struct {
 	rank, p int
 	epoch   int
 	start   time.Time
-	peers   []*peerConn // nil at own index
+	// peers holds one live link per rank (nil at own index). Slots are
+	// atomic pointers because the accept loop swaps in replacement links
+	// when a crashed peer rejoins with a higher epoch, racing the engine
+	// goroutine's sends; the data path pays one atomic load per access and
+	// keeps its zero-allocation steady state.
+	peers   []atomic.Pointer[peerConn]
 	inbox   chan cluster.Message
 	pending []cluster.Message
 	commSec float64
@@ -122,6 +128,16 @@ type transport struct {
 	wire    WireSpec
 
 	hbTimeout time.Duration
+
+	// Reconnect support: the listener stays open for the whole run, the
+	// accept loop authenticates replacement hellos under meshMu, and
+	// detachedFrames accumulates the frame counts of links retired by a
+	// swap so framesSentTotal stays complete.
+	meshMu         sync.Mutex
+	outCap         int
+	myHello        Frame
+	nodeCfg        NodeConfig
+	detachedFrames atomic.Int64
 
 	// Batch accumulation: per-destination pending messages, flushed into a
 	// single FrameBatch when a size cap trips, when the engine is about to
@@ -161,6 +177,22 @@ type transport struct {
 
 var _ cluster.Transport = (*transport)(nil)
 
+// peer returns the current link to rank j (nil at own index).
+func (t *transport) peer(j int) *peerConn { return t.peers[j].Load() }
+
+// swapPeer installs pc as the link to its rank, retiring any previous
+// link: its frame counter is folded into detachedFrames and it is closed
+// in the background (close drains the writer, which can block briefly on a
+// dead socket's write deadline).
+func (t *transport) swapPeer(pc *peerConn) {
+	if old := t.peers[pc.rank].Swap(pc); old != nil {
+		go func() {
+			old.close()
+			t.detachedFrames.Add(old.framesSent.Load())
+		}()
+	}
+}
+
 func (t *transport) ID() int      { return t.rank }
 func (t *transport) P() int       { return t.p }
 func (t *transport) Now() float64 { return time.Since(t.start).Seconds() }
@@ -191,7 +223,7 @@ func (t *transport) SendShared(dst, tag, iter int, data []float64) {
 	if t.traceWire {
 		t.journal.Record(obs.Event{T: m.SentAt, Proc: t.rank, Kind: obs.EvSend, Iter: iter, Peer: dst, V: float64(tag)})
 	}
-	pc := t.peers[dst]
+	pc := t.peer(dst)
 	if t.inj == nil {
 		t.enqueueData(pc, m, bytes)
 		return
@@ -273,7 +305,7 @@ func (t *transport) flushAll(reason int) {
 	t.batchMu.Lock()
 	for dst := range t.pend {
 		if f, ok := t.popLocked(dst, reason); ok {
-			t.peers[dst].send(f)
+			t.peer(dst).send(f)
 		}
 	}
 	t.batchMu.Unlock()
@@ -298,7 +330,7 @@ func (t *transport) lingerLoop() {
 			for dst := range t.pend {
 				if len(t.pend[dst]) > 0 && now.Sub(t.pendSince[dst]) >= linger {
 					if f, ok := t.popLocked(dst, flushLinger); ok {
-						t.peers[dst].send(f)
+						t.peer(dst).send(f)
 					}
 				}
 			}
@@ -438,7 +470,7 @@ func (t *transport) PeerDown(peer int) bool {
 	if peer < 0 || peer >= t.p || peer == t.rank {
 		return false
 	}
-	return !t.peers[peer].alive(t.hbTimeout)
+	return !t.peer(peer).alive(t.hbTimeout)
 }
 
 // Epoch implements core.Epocher: the process incarnation stamped on
@@ -503,11 +535,12 @@ func (t *transport) deliver(pc *peerConn, m cluster.Message) bool {
 	}
 }
 
-// framesSentTotal sums the physical frames written across all peer links.
+// framesSentTotal sums the physical frames written across all peer links,
+// including links retired by a reconnect swap.
 func (t *transport) framesSentTotal() int {
-	n := int64(0)
-	for _, pc := range t.peers {
-		if pc != nil {
+	n := t.detachedFrames.Load()
+	for j := range t.peers {
+		if pc := t.peer(j); pc != nil {
 			n += pc.framesSent.Load()
 		}
 	}
@@ -544,8 +577,8 @@ func (t *transport) close() {
 	for _, tm := range timers {
 		tm.Stop()
 	}
-	for _, pc := range t.peers {
-		if pc != nil {
+	for j := range t.peers {
+		if pc := t.peer(j); pc != nil {
 			pc.close()
 		}
 	}
@@ -644,12 +677,14 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 	outCap := 2*spec.MaxIter + 64
 	tr := &transport{
 		rank: rank, p: p, epoch: cfg.Epoch,
-		peers:     make([]*peerConn, p),
+		peers:     make([]atomic.Pointer[peerConn], p),
 		inbox:     make(chan cluster.Message, p*(spec.MaxIter+16)),
 		inj:       faults.NewInjector(cfg.Faults, cfg.FaultSeed),
 		procs:     p,
 		wire:      spec.Wire,
 		hbTimeout: cfg.HeartbeatTimeout,
+		outCap:    outCap,
+		nodeCfg:   cfg,
 		wobs:      newWireObs(reg, rank, p),
 		journal:   journal,
 		traceWire: spec.Trace,
@@ -663,12 +698,18 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 		tr.pendSince = make([]time.Time, p)
 		tr.lingerStop = make(chan struct{})
 	}
-	if err := tr.connectMesh(ln, wc.Peers, cfg, outCap); err != nil {
+	if wc.Rejoin {
+		cfg.logf("rank %d: rejoining a run in flight (epoch %d), dialing all survivors", rank, cfg.Epoch)
+	}
+	if err := tr.connectMesh(ln, wc.Peers, cfg, wc.Rejoin); err != nil {
 		tr.close()
 		return nil, err
 	}
-	_ = ln.Close() // mesh complete; no further inbound connections
-	for _, pc := range tr.peers {
+	// The listener stays open for the rest of the run: a crashed peer's
+	// replacement incarnation reconnects through it.
+	go tr.acceptLoop(ln)
+	for j := range tr.peers {
+		pc := tr.peer(j)
 		if pc == nil {
 			continue
 		}
@@ -678,6 +719,11 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 	if tr.lingerStop != nil {
 		go tr.lingerLoop()
 	}
+	// Heartbeat the coordinator link too: its liveness window (the
+	// coordinator's NodeTimeout) is how a hung node is detected without
+	// waiting for the global run timeout. Beacons piggyback on control
+	// traffic, so an active link costs nothing extra.
+	go coord.heartbeater(cfg.HeartbeatEvery)
 
 	// Control-plane reader for the coordinator link.
 	barrierCh := make(chan int, 8)
@@ -706,6 +752,7 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 	// same artifacts a simulated run emits.
 	tr.obsMsgsSent = reg.Counter(cluster.MetricMsgsSent, "logical messages passed to Send", lp)
 	tr.obsBytesSent = reg.Counter(cluster.MetricBytesSent, "payload+header bytes of logical sends", lp)
+	reg.Gauge(MetricNodeEpoch, "Process incarnation epoch (0 on first launch).", lp).Set(float64(cfg.Epoch))
 	httpAddr := ""
 	if cfg.HTTPAddr != "" {
 		srv, err := realtime.ServeObs(cfg.HTTPAddr, reg, journal)
@@ -800,7 +847,8 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 	// for the trace merge, publishing them as gauges too.
 	clockOff := make([]float64, p)
 	clockRTT := make([]float64, p)
-	for j, pc := range tr.peers {
+	for j := range tr.peers {
+		pc := tr.peer(j)
 		if pc == nil {
 			continue
 		}
@@ -826,7 +874,7 @@ func RunNode(cfg NodeConfig) (*NodeResult, error) {
 	// Report the outcome, then hold the mesh open until the coordinator
 	// confirms every node is done.
 	coord.send(Frame{Type: FrameResult, Blob: encodeJSON(resultMsg{
-		Rank: rank, HTTP: httpAddr,
+		Rank: rank, HTTP: httpAddr, Epoch: cfg.Epoch, Restores: res.Stats.Restores,
 		Converged: res.Converged, Iters: res.Stats.Iters,
 		SpecsMade: res.Stats.SpecsMade, SpecsBad: res.Stats.SpecsBad,
 		Repairs: res.Stats.Repairs, Overruns: res.Stats.Overruns,
@@ -868,36 +916,56 @@ func readConfig(conn net.Conn, timeout time.Duration) (Frame, error) {
 	return f, nil
 }
 
-// connectMesh establishes one TCP link per peer pair: this node dials every
-// lower rank (which is already listening) and accepts one connection from
-// every higher rank. Each link opens with a hello exchange — the dialer
+// connectMesh establishes one TCP link per peer pair. On a fresh run this
+// node dials every lower rank (which is already listening) and accepts one
+// connection from every higher rank. On a rejoin the run is already in
+// flight and every survivor is listening, so this node dials ALL peers;
+// their accept loops authenticate the higher-epoch hello and swap out the
+// stale link. Each link opens with a hello exchange — the dialer
 // introduces itself, the acceptor replies with its own hello — so both
 // sides learn the peer's capability mask and the link's frame shape
 // (batching, delta) is the negotiated intersection.
-func (t *transport) connectMesh(ln net.Listener, peers []string, cfg NodeConfig, outCap int) error {
+func (t *transport) connectMesh(ln net.Listener, peers []string, cfg NodeConfig, rejoin bool) error {
 	rank, p := t.rank, t.p
 	caps := localCaps(t.wire)
-	myHello := Frame{Type: FrameHello, Rank: rank, Epoch: t.epoch, Addr: peers[rank], Caps: caps}
+	t.myHello = Frame{Type: FrameHello, Rank: rank, Epoch: t.epoch, Addr: peers[rank], Caps: caps}
+	myHello := t.myHello
 
 	type dialed struct {
-		rank int
-		conn net.Conn
-		caps uint32
-		err  error
+		rank  int
+		conn  net.Conn
+		hello Frame
+		err   error
+	}
+	dialTo := 0 // fresh run: dial [0, rank)
+	if rejoin {
+		dialTo = p // rejoin: dial everyone but self
+	} else {
+		dialTo = rank
 	}
 	ch := make(chan dialed, p)
-	for j := 0; j < rank; j++ {
+	dials := 0
+	for j := 0; j < dialTo; j++ {
+		if j == rank {
+			continue
+		}
 		j := j
+		dials++
 		go func() {
-			conn, capsJ, err := t.dialPeer(peers[j], j, myHello, cfg)
-			ch <- dialed{rank: j, conn: conn, caps: capsJ, err: err}
+			conn, hello, err := t.dialPeer(peers[j], j, myHello, cfg)
+			ch <- dialed{rank: j, conn: conn, hello: hello, err: err}
 		}()
 	}
 
-	// Accept the higher ranks while the dials run.
+	// Accept the higher ranks while the dials run (fresh run only; a
+	// rejoiner reaches every peer by dialing).
+	accepts := 0
+	if !rejoin {
+		accepts = p - 1 - rank
+	}
 	acceptErr := make(chan error, 1)
 	go func() {
-		for need := p - 1 - rank; need > 0; need-- {
+		for need := accepts; need > 0; need-- {
 			_ = setAcceptDeadline(ln, time.Now().Add(cfg.DialTimeout+30*time.Second))
 			conn, err := ln.Accept()
 			if err != nil {
@@ -915,7 +983,7 @@ func (t *transport) connectMesh(ln net.Listener, peers []string, cfg NodeConfig,
 				acceptErr <- fmt.Errorf("distnet: unexpected hello from rank %d", hello.Rank)
 				return
 			}
-			if t.peers[hello.Rank] != nil {
+			if t.peer(hello.Rank) != nil {
 				conn.Close()
 				acceptErr <- fmt.Errorf("distnet: duplicate connection from rank %d", hello.Rank)
 				return
@@ -925,13 +993,13 @@ func (t *transport) connectMesh(ln net.Listener, peers []string, cfg NodeConfig,
 				acceptErr <- fmt.Errorf("distnet: hello reply to rank %d: %w", hello.Rank, err)
 				return
 			}
-			t.peers[hello.Rank] = newPeerConn(hello.Rank, conn, outCap, t.linkOptsFor(hello.Caps, hello.Rank))
+			t.installPeer(hello.Rank, conn, hello)
 		}
 		acceptErr <- nil
 	}()
 
 	var firstErr error
-	for j := 0; j < rank; j++ {
+	for i := 0; i < dials; i++ {
 		d := <-ch
 		if d.err != nil {
 			if firstErr == nil {
@@ -939,12 +1007,78 @@ func (t *transport) connectMesh(ln net.Listener, peers []string, cfg NodeConfig,
 			}
 			continue
 		}
-		t.peers[d.rank] = newPeerConn(d.rank, d.conn, outCap, t.linkOptsFor(d.caps, d.rank))
+		t.installPeer(d.rank, d.conn, d.hello)
 	}
 	if err := <-acceptErr; err != nil && firstErr == nil {
 		firstErr = err
 	}
 	return firstErr
+}
+
+// installPeer wires a freshly handshaken connection in as the link to the
+// hello sender's rank.
+func (t *transport) installPeer(j int, conn net.Conn, hello Frame) *peerConn {
+	pc := newPeerConn(j, conn, t.outCap, t.linkOptsFor(hello.Caps, j))
+	pc.epoch = hello.Epoch
+	t.swapPeer(pc)
+	return pc
+}
+
+// acceptLoop serves inbound peer connections for the rest of the run —
+// the reconnect path a rejoining peer takes after a crash. It exits when
+// the listener closes at teardown.
+func (t *transport) acceptLoop(ln net.Listener) {
+	_ = setAcceptDeadline(ln, time.Time{}) // clear the mesh-build deadline
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go t.acceptReplacement(conn)
+	}
+}
+
+// acceptReplacement authenticates one inbound connection as a rejoining
+// peer and swaps it in over the stale link. The epoch rule is the guard:
+// only a hello from a strictly newer incarnation of the peer may replace
+// the current link, so duplicate dials and a dead incarnation's late
+// packets can never tear down a healthy connection.
+func (t *transport) acceptReplacement(conn net.Conn) {
+	cfg := t.nodeCfg
+	hello, err := readHello(conn, cfg.DialTimeout)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	j := hello.Rank
+	if j < 0 || j >= t.p || j == t.rank {
+		conn.Close()
+		return
+	}
+	t.timersMu.Lock()
+	closing := t.closed
+	t.timersMu.Unlock()
+	if closing {
+		conn.Close()
+		return
+	}
+	t.meshMu.Lock()
+	if cur := t.peer(j); cur != nil && hello.Epoch <= cur.epoch {
+		t.meshMu.Unlock()
+		conn.Close() // stale or duplicate incarnation
+		return
+	}
+	if _, err := writeFrame(conn, nil, &t.myHello); err != nil {
+		t.meshMu.Unlock()
+		conn.Close()
+		return
+	}
+	pc := t.installPeer(j, conn, hello)
+	t.meshMu.Unlock()
+	t.wobs.noteReconnect()
+	cfg.logf("rank %d: peer %d reconnected with epoch %d, stale link retired", t.rank, j, hello.Epoch)
+	go t.reader(pc)
+	go pc.heartbeater(cfg.HeartbeatEvery)
 }
 
 // linkOptsFor negotiates the link shape with peer j and attaches the link's
@@ -956,42 +1090,43 @@ func (t *transport) linkOptsFor(remoteCaps uint32, j int) wireOpts {
 }
 
 // dialPeer dials rank j, sends our hello and reads the reply, returning the
-// peer's capability mask. The error taxonomy is load-bearing here: a reply
-// cut off mid-frame (io.ErrUnexpectedEOF — the peer was tearing down a
-// half-open accept, or the connection raced its listener) is retried on a
-// fresh connection within the dial budget, while a corrupt reply
-// (ErrCorrupt — wrong process, protocol desync) fails the mesh immediately.
-func (t *transport) dialPeer(addr string, j int, myHello Frame, cfg NodeConfig) (net.Conn, uint32, error) {
+// peer's hello (capability mask + incarnation epoch). The error taxonomy is
+// load-bearing here: a reply cut off mid-frame (io.ErrUnexpectedEOF — the
+// peer was tearing down a half-open accept, or the connection raced its
+// listener) is retried on a fresh connection within the dial budget, while
+// a corrupt reply (ErrCorrupt — wrong process, protocol desync) fails the
+// mesh immediately.
+func (t *transport) dialPeer(addr string, j int, myHello Frame, cfg NodeConfig) (net.Conn, Frame, error) {
 	deadline := time.Now().Add(cfg.DialTimeout)
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		remain := time.Until(deadline)
 		if remain <= 0 {
-			return nil, 0, fmt.Errorf("distnet: hello exchange with rank %d: %w", j, lastErr)
+			return nil, Frame{}, fmt.Errorf("distnet: hello exchange with rank %d: %w", j, lastErr)
 		}
 		t.wobs.noteDial()
 		conn, err := dialRetry(addr, remain, cfg.Logf)
 		if err != nil {
-			return nil, 0, err
+			return nil, Frame{}, err
 		}
 		if _, err := writeFrame(conn, nil, &myHello); err != nil {
 			conn.Close()
-			return nil, 0, fmt.Errorf("distnet: hello to rank %d: %w", j, err)
+			return nil, Frame{}, fmt.Errorf("distnet: hello to rank %d: %w", j, err)
 		}
 		reply, err := readHello(conn, time.Until(deadline))
 		if err == nil {
 			if reply.Rank != j {
 				conn.Close()
-				return nil, 0, fmt.Errorf("distnet: dialed rank %d but got hello from rank %d", j, reply.Rank)
+				return nil, Frame{}, fmt.Errorf("distnet: dialed rank %d but got hello from rank %d", j, reply.Rank)
 			}
-			return conn, reply.Caps, nil
+			return conn, reply, nil
 		}
 		conn.Close()
 		if errors.Is(err, ErrCorrupt) {
-			return nil, 0, err // desynchronized stream: fatal, never retried
+			return nil, Frame{}, err // desynchronized stream: fatal, never retried
 		}
 		if !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) && !isTimeout(err) {
-			return nil, 0, err
+			return nil, Frame{}, err
 		}
 		lastErr = err
 		t.wobs.noteHelloRetry()

@@ -48,6 +48,12 @@ const (
 	MetricClockOffset = "specomp_wire_clock_offset_seconds"
 	// MetricClockRTT gauges the RTT of the minimum-RTT clock sample (s).
 	MetricClockRTT = "specomp_wire_clock_rtt_seconds"
+	// MetricPeerReconnects counts replacement peer links accepted from
+	// rejoining (higher-epoch) incarnations of crashed peers.
+	MetricPeerReconnects = "specomp_wire_peer_reconnects_total"
+	// MetricNodeEpoch gauges this process's incarnation epoch (0 on first
+	// launch; a respawned node reports the bumped value).
+	MetricNodeEpoch = "specomp_node_epoch"
 )
 
 // Batch flush reasons, the label values of MetricFlushes.
@@ -126,6 +132,7 @@ type wireObs struct {
 	dialAttempts *obs.Counter
 	helloRetries *obs.Counter
 	pushes       *obs.Counter
+	reconnects   *obs.Counter
 	links        []*linkObs // indexed by peer rank; nil at own rank
 }
 
@@ -143,6 +150,7 @@ func newWireObs(reg *obs.Registry, rank, procs int) *wireObs {
 		dialAttempts: reg.Counter(MetricDialAttempts, "Peer dial attempts, retries included.", lp),
 		helloRetries: reg.Counter(MetricHelloRetries, "Hello handshakes redialed after truncation.", lp),
 		pushes:       reg.Counter(MetricObsPushes, "Metrics snapshots pushed to the coordinator.", lp),
+		reconnects:   reg.Counter(MetricPeerReconnects, "Replacement links accepted from rejoining peers.", lp),
 		links:        make([]*linkObs, procs),
 	}
 	for i, name := range flushReasonNames {
@@ -207,6 +215,14 @@ func (w *wireObs) noteHelloRetry() {
 		return
 	}
 	w.helloRetries.Inc()
+}
+
+// noteReconnect counts one accepted replacement link. Nil-safe.
+func (w *wireObs) noteReconnect() {
+	if w == nil {
+		return
+	}
+	w.reconnects.Inc()
 }
 
 // notePush counts one snapshot push. Nil-safe.

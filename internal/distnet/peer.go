@@ -86,8 +86,12 @@ func localCaps(w WireSpec) uint32 {
 // peerConn is one live link to a peer (or to the coordinator, rank -1).
 type peerConn struct {
 	rank int
-	conn net.Conn
-	opts wireOpts
+	// epoch is the peer incarnation this link was negotiated with; a
+	// replacement connection must present a strictly higher one (stale
+	// reconnect attempts from a dead incarnation are refused).
+	epoch int
+	conn  net.Conn
+	opts  wireOpts
 
 	// out feeds the writer goroutine. Sends block when full — TCP
 	// backpressure, propagated to the engine. Liveness never competes with

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -215,7 +216,7 @@ func linkedTransports(t *testing.T, wire WireSpec, model netmodel.Model, seed in
 	mk := func(rank int, conn net.Conn, peer int, inj *faults.Injector) *transport {
 		tr := &transport{
 			rank: rank, p: 2, procs: 2,
-			peers: make([]*peerConn, 2),
+			peers: make([]atomic.Pointer[peerConn], 2),
 			inbox: make(chan cluster.Message, 4096),
 			inj:   inj,
 			wire:  wire,
@@ -230,8 +231,9 @@ func linkedTransports(t *testing.T, wire WireSpec, model netmodel.Model, seed in
 			tr.pendSince = make([]time.Time, 2)
 			tr.lingerStop = make(chan struct{})
 		}
-		tr.peers[peer] = newPeerConn(peer, conn, 4096, linkOpts(wire, localCaps(wire)))
-		go tr.reader(tr.peers[peer])
+		pc := newPeerConn(peer, conn, 4096, linkOpts(wire, localCaps(wire)))
+		tr.peers[peer].Store(pc)
+		go tr.reader(pc)
 		return tr
 	}
 	tr0 := mk(0, a, 1, faults.NewInjector(model, seed))
@@ -382,12 +384,12 @@ func TestDialPeerRetriesTruncatedHello(t *testing.T) {
 		})
 		tr := &transport{rank: 1, p: 2, wire: WireSpec{}}
 		myHello := Frame{Type: FrameHello, Rank: 1, Addr: "y", Caps: CapBatch}
-		conn, caps, err := tr.dialPeer(addr, 0, myHello, NodeConfig{DialTimeout: 10 * time.Second})
+		conn, reply, err := tr.dialPeer(addr, 0, myHello, NodeConfig{DialTimeout: 10 * time.Second})
 		if err != nil {
 			t.Fatalf("dialPeer did not survive a truncated hello: %v", err)
 		}
 		conn.Close()
-		if caps&CapBatch == 0 {
+		if reply.Caps&CapBatch == 0 {
 			t.Error("negotiated caps lost across the retry")
 		}
 		if attempts := len(counted); attempts < 2 {

@@ -48,6 +48,11 @@ type RunSpec struct {
 	// knobs (wall-clock seconds on this substrate).
 	Deadline   float64 `json:"deadline,omitempty"`
 	MaxOverrun int     `json:"max_overrun,omitempty"`
+	// MaxCrashOverrun forwards the engine's crash-bridging window: extra
+	// speculative iterations allowed past a peer reported down, so
+	// survivors compute through a crash until the peer rejoins (0 = engine
+	// default: 6 when Deadline > 0).
+	MaxCrashOverrun int `json:"max_crash_overrun,omitempty"`
 	// CheckpointEvery, when positive, snapshots engine state every K
 	// iterations; blobs are shipped to the coordinator for custody.
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
@@ -187,13 +192,38 @@ func BuildApp(s RunSpec, rank int) (core.App, error) {
 	return nil, fmt.Errorf("distnet: unknown app %q", s.App)
 }
 
+// AssembleHeat stitches the per-rank final strips of a heat run back into
+// the global field — the shape serial references compare against. It
+// validates every strip's size so a half-reported run fails loudly.
+func AssembleHeat(s RunSpec, reports []NodeReport) ([][]float64, error) {
+	if s.App != "heat" {
+		return nil, fmt.Errorf("distnet: AssembleHeat on app %q", s.App)
+	}
+	field := make([][]float64, s.Rows)
+	blocks := s.Blocks()
+	for _, rep := range reports {
+		if rep.Rank < 0 || rep.Rank >= len(blocks) {
+			return nil, fmt.Errorf("distnet: report for out-of-range rank %d", rep.Rank)
+		}
+		lo, hi := blocks[rep.Rank][0], blocks[rep.Rank][1]
+		if want := (hi - lo) * s.Cols; len(rep.Final) != want {
+			return nil, fmt.Errorf("distnet: rank %d final has %d values, want %d", rep.Rank, len(rep.Final), want)
+		}
+		for r := lo; r < hi; r++ {
+			field[r] = rep.Final[(r-lo)*s.Cols : (r-lo+1)*s.Cols]
+		}
+	}
+	return field, nil
+}
+
 // CoreConfig derives the engine configuration every node runs with.
 func (s RunSpec) CoreConfig(metrics *obs.Registry, journal *obs.Journal, store checkpoint.Store) core.Config {
 	cfg := core.Config{
 		FW: s.FW, BW: s.BW, MaxIter: s.MaxIter,
 		HoldSends: s.HoldSends,
 		Deadline:  s.Deadline, MaxOverrun: s.MaxOverrun,
-		Metrics: metrics, Journal: journal,
+		MaxCrashOverrun: s.MaxCrashOverrun,
+		Metrics:         metrics, Journal: journal,
 	}
 	if s.CheckpointEvery > 0 && store != nil {
 		cfg.CheckpointEvery = s.CheckpointEvery
@@ -215,6 +245,11 @@ type wireConfig struct {
 	// sends no hello, so its caps word travels here). CapObs invites
 	// periodic metrics-snapshot pushes.
 	CoordCaps uint32 `json:"coord_caps,omitempty"`
+	// Rejoin marks a config answering a rejoin hello: the run is already in
+	// flight, the node's rank was vacated by its previous incarnation, and
+	// the mesh must be rebuilt by dialing every peer (their accept loops
+	// replace the stale links).
+	Rejoin bool `json:"rejoin,omitempty"`
 }
 
 // resultMsg is the body of a FrameResult.
@@ -223,6 +258,8 @@ type resultMsg struct {
 	HTTP      string  `json:"http,omitempty"` // node's live obs endpoint, if served
 	Converged bool    `json:"converged"`
 	Iters     int     `json:"iters"`
+	Epoch     int     `json:"epoch,omitempty"`    // incarnation that produced this result
+	Restores  int     `json:"restores,omitempty"` // checkpoint restores the engine performed
 	SpecsMade int     `json:"specs_made"`
 	SpecsBad  int     `json:"specs_bad"`
 	Repairs   int     `json:"repairs"`
