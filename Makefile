@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short bench bench-core race distributed fuzz-wire soak soak-short chaos-dist obs-fleet results results-ext faults chaos metrics cover fmt vet lint examples
+.PHONY: all build test test-short bench bench-core race distributed fuzz-wire soak soak-short chaos-dist obs-fleet dag results results-ext faults chaos metrics cover fmt vet lint examples
 
 all: build vet test
 
@@ -49,8 +49,8 @@ bench: bench-core
 # run fails if any benchmark's allocs/op regresses above the committed
 # baseline; Soak* series already in the file are preserved.
 bench-core:
-	go test -run '^$$' -bench 'EngineIteration|ComputeKernel|LoopbackRoundTrip|LinkThroughput|WireInstrumentation' -benchmem \
-		./internal/core ./internal/apps/... ./internal/distnet \
+	go test -run '^$$' -bench 'EngineIteration|ComputeKernel|LoopbackRoundTrip|LinkThroughput|WireInstrumentation|PipelineStage' -benchmem \
+		./internal/core ./internal/apps/... ./internal/distnet ./internal/pipeline \
 		| go run ./cmd/benchjson -baseline BENCH_core.json -o BENCH_core.json
 	@echo "wrote BENCH_core.json"
 
@@ -79,6 +79,13 @@ obs-fleet:
 	go run ./cmd/speccoord -spawn -procs 4 -iters 120 -obs-push-ms 50 \
 		-selfcheck -trace-out /tmp/fleet-trace.json -timeout 120s
 	@echo "wrote /tmp/fleet-trace.json"
+
+# Task-DAG smoke: a 4-process streaming pipeline over distnet (one stage
+# per OS process), exact regime — the run fails unless every stage's final
+# state is bit-identical to the lockstep serial reference.
+dag:
+	go run ./cmd/speccoord -spawn -procs 4 -app pipeline -iters 60 -fw 1 \
+		-exact -verify 0 -timeout 120s
 
 # Regenerate the canonical paper reproduction (results_full.txt).
 results:
@@ -117,3 +124,4 @@ examples:
 	go run ./examples/jacobi
 	go run ./examples/pagerank
 	go run ./examples/realtime
+	go run ./examples/pipeline

@@ -23,10 +23,11 @@ import (
 func main() {
 	var (
 		exp = flag.String("exp", "all",
-			"experiment id: all, ext, or any of fig2, fig4, fig5, fig6, fig8, table2, table3, fig9, ext-fw, ext-bw, ext-async, ext-load, ext-topo, ext-faults, ext-chaos")
+			"experiment id: all, ext, or any of fig2, fig4, fig5, fig6, fig8, table2, table3, fig9, ext-fw, ext-bw, ext-async, ext-load, ext-topo, ext-faults, ext-chaos, ext-dag")
 		quick   = flag.Bool("quick", false, "use the scaled-down configuration")
 		fault   = flag.Bool("faults", false, "shorthand for -exp ext-faults: run under an unreliable network")
 		crash   = flag.Bool("crash", false, "shorthand for -exp ext-chaos: the crash/restart chaos soak")
+		dag     = flag.Bool("dag", false, "shorthand for -exp ext-dag: task-DAG and pipeline experiments")
 		n       = flag.Int("n", 0, "override particle count")
 		iters   = flag.Int("iters", 0, "override iteration count")
 		procs   = flag.Int("procs", 0, "override machine-set size")
@@ -66,13 +67,16 @@ func main() {
 	case "all":
 		ids = []string{"fig2", "fig4", "fig5", "fig6", "fig8", "table2", "table3", "fig9"}
 	case "ext":
-		ids = []string{"ext-fw", "ext-bw", "ext-async", "ext-load", "ext-topo", "ext-apps", "ext-faults"}
+		ids = []string{"ext-fw", "ext-bw", "ext-async", "ext-load", "ext-topo", "ext-apps", "ext-faults", "ext-dag"}
 	}
 	if *fault {
 		ids = []string{"ext-faults"}
 	}
 	if *crash {
 		ids = []string{"ext-chaos"}
+	}
+	if *dag {
+		ids = []string{"ext-dag"}
 	}
 	failed := false
 	for _, id := range ids {
@@ -185,6 +189,8 @@ func run(id string, cfg experiments.NBodyConfig) (experiments.Report, error) {
 		return experiments.ExtFaults(cfg)
 	case "ext-chaos":
 		return experiments.ExtChaos(cfg)
+	case "ext-dag":
+		return experiments.ExtDAG(cfg)
 	default:
 		return experiments.Report{}, fmt.Errorf("unknown experiment %q", id)
 	}

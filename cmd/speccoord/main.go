@@ -5,8 +5,9 @@
 //
 // Usage:
 //
-//	speccoord [-addr host:port] [-app heat|jacobi] [-procs P] [-iters N]
+//	speccoord [-addr host:port] [-app heat|jacobi|pipeline] [-procs P] [-iters N]
 //	          [-fw W] [-theta θ] [-rows R] [-cols C] [-n N] [-tol T]
+//	          [-width W] [-place r0,r1,...] [-exact] [-verify ε]
 //	          [-checkpoint K] [-deadline s] [-crash-overrun K] [-delta] [-nobatch]
 //	          [-spawn] [-max-respawns R] [-custody-dir DIR]
 //	          [-node-timeout d] [-rejoin-wait d] [-http] [-timeout d]
@@ -54,6 +55,7 @@ import (
 	"os"
 	"os/exec"
 	"strconv"
+	"strings"
 	"time"
 
 	"specomp/internal/checkpoint"
@@ -64,7 +66,7 @@ import (
 func main() {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:0", "coordinator listen address")
-		app       = flag.String("app", "heat", "application: heat or jacobi")
+		app       = flag.String("app", "heat", "application: heat, jacobi or pipeline")
 		procs     = flag.Int("procs", 4, "number of node processes")
 		iters     = flag.Int("iters", 200, "maximum iterations")
 		fw        = flag.Int("fw", 2, "forward speculation window")
@@ -74,7 +76,11 @@ func main() {
 		cols      = flag.Int("cols", 32, "heat grid columns")
 		n         = flag.Int("n", 64, "jacobi system size")
 		tol       = flag.Float64("tol", 0, "jacobi convergence tolerance (0 = run all iterations)")
-		seed      = flag.Int64("seed", 1, "problem seed (jacobi)")
+		seed      = flag.Int64("seed", 1, "problem seed (jacobi, pipeline)")
+		width     = flag.Int("width", 16, "pipeline per-stage row width")
+		place     = flag.String("place", "", "pipeline stage placement: comma-separated rank per stage (default identity)")
+		exact     = flag.Bool("exact", false, "pipeline: zero every stage tolerance (an FW=1 run is then bit-identical to serial)")
+		verify    = flag.Float64("verify", -1, "pipeline: after the run, compare finals against the serial reference within this envelope (negative = off)")
 		ckpt      = flag.Int("checkpoint", 0, "checkpoint every K iterations (0 = off)")
 		deadline  = flag.Float64("deadline", 0, "per-iteration wall-clock deadline in seconds (0 = off; enables graceful degradation and crash bridging)")
 		crashOver = flag.Int("crash-overrun", 0, "extra speculative iterations past a dead peer (0 = engine default)")
@@ -123,12 +129,22 @@ func main() {
 	spec := distnet.RunSpec{
 		App: *app, Procs: *procs, MaxIter: *iters, FW: *fw, BW: *bw,
 		Theta: *theta, Rows: *rows, Cols: *cols, N: *n, Tol: *tol,
+		Width: *width, Exact: *exact,
 		Seed: *seed, CheckpointEvery: *ckpt,
 		Deadline: *deadline, MaxCrashOverrun: *crashOver,
 		Wire:      distnet.WireSpec{Delta: *delta, NoBatch: *nobatch},
 		Job:       *job,
 		ObsPushMS: *obsPush,
 		Trace:     *traceOut != "",
+	}
+	if *place != "" {
+		for _, part := range strings.Split(*place, ",") {
+			r, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				logger.Fatalf("-place: %v", err)
+			}
+			spec.Placement = append(spec.Placement, r)
+		}
 	}
 
 	// Durable custody: checkpoint blobs survive the coordinator process.
@@ -250,6 +266,12 @@ func main() {
 			logger.Fatalf("fleet selfcheck: %v", err)
 		}
 		logger.Printf("fleet selfcheck passed: %d ranks aggregated, no duplicate series", coord.Spec().Procs)
+	}
+	if *verify >= 0 {
+		if err := distnet.VerifyPipeline(coord.Spec(), reports, *verify); err != nil {
+			logger.Fatalf("verify: %v", err)
+		}
+		logger.Printf("verify passed: all %d stages within %g of the serial reference", coord.Spec().Procs, *verify)
 	}
 	if *traceOut != "" {
 		journals := distnet.FleetJournals(reports)

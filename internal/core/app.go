@@ -53,9 +53,13 @@ type Publisher interface {
 // never read is pure overhead. Needs(k) reports whether this processor
 // reads peer k's payload; NeededBy(k) whether peer k reads this
 // processor's. Implementations must be mutually consistent across
-// processors (j.Needs(k) == k.NeededBy(j)), or receives will deadlock.
-// When an App implements Neighbors, unneeded peers get no messages and a
-// nil view entry, and Stopper.Done sees nil entries for them too.
+// processors (j.Needs(k) == k.NeededBy(j)), or receives will deadlock; the
+// pattern is static for a run — the engine consults the predicates once at
+// startup to build its dependency masks. When an App implements Neighbors,
+// unneeded peers get no messages and a nil view entry, and Stopper.Done
+// sees nil entries for them too. Neighbors is the pairwise special case of
+// the Grapher extension (graph.go), which declares arbitrary task DAGs and
+// takes precedence when both are implemented.
 type Neighbors interface {
 	Needs(peer int) bool
 	NeededBy(peer int) bool

@@ -139,6 +139,14 @@ type Config struct {
 	// the overdue peer. Defaults to 2 when Deadline is set.
 	MaxOverrun int
 
+	// Graph, when non-nil, declares the run's dependency structure as an
+	// explicit task DAG (see graph.go): this processor speculates on, checks
+	// and repairs exactly its in-edges, and broadcasts to exactly its
+	// out-edges. Nil resolves through the App's Grapher extension, then
+	// Neighbors, then the complete graph — the classical engine. Every
+	// processor of a run must use an identical graph.
+	Graph *DepGraph
+
 	// Spec, Check and Repair replace the engine's default policy set (see
 	// policy.go). Nil fields get the defaults, which reproduce the paper's
 	// behaviour: predict via Speculator/Predictor, judge via App.Check, and
@@ -264,10 +272,21 @@ type engine struct {
 
 	pub     Publisher        // nil unless app implements it
 	stopper Stopper          // nil unless app implements it
-	nbrs    Neighbors        // nil unless app implements it
 	dr      DeadlineReceiver // nil unless the transport implements it
 	noter   Noter            // nil unless the transport implements it
 	shared  SharedSender     // nil unless the transport implements it
+
+	// edgeSpec / edgeCheck are the edge-aware faces of the resolved
+	// policies, non-nil only when the policy opts in (see policy.go).
+	edgeSpec  EdgeSpecPolicy
+	edgeCheck EdgeCheckPolicy
+
+	// Dependency structure, resolved once at startup (graph.go): inRanks is
+	// the sorted list of ranks this processor reads; needsM/neededByM are the
+	// O(1) membership masks behind needs()/neededBy().
+	inRanks   []int
+	needsM    []bool
+	neededByM []bool
 
 	stopped  bool // converged early
 	stopIter int  // iteration at which Done reported true
@@ -376,18 +395,20 @@ func Run(p Transport, app App, cfg Config) (Result, error) {
 	// re-sends and checkpoint rollback can add); per-iteration state spans
 	// at most the unvalidated window. The overflow maps absorb anything
 	// rarer.
+	in, needsM, neededByM, err := resolveDeps(app, cfg.Graph, p.ID(), p.P())
+	if err != nil {
+		return Result{}, err
+	}
+	e.inRanks, e.needsM, e.neededByM = in, needsM, neededByM
 	slack := cfg.FW + cfg.MaxOverrun + cfg.MaxCrashOverrun
 	peerCap := (cfg.BW + slack) + 2*slack + cfg.CheckpointEvery + 16
 	iterCap := slack + 4
-	e.plane = newValuePlane(p.ID(), p.P(), cfg.BW, peerCap, iterCap)
+	e.plane = newValuePlane(p.ID(), p.P(), cfg.BW, peerCap, iterCap, in)
 	if p2, ok := app.(Publisher); ok {
 		e.pub = p2
 	}
 	if st, ok := app.(Stopper); ok {
 		e.stopper = st
-	}
-	if nb, ok := app.(Neighbors); ok {
-		e.nbrs = nb
 	}
 	if d, ok := p.(DeadlineReceiver); ok {
 		e.dr = d
@@ -419,6 +440,12 @@ func Run(p Transport, app App, cfg Config) (Result, error) {
 			dr.corr = co
 		}
 		e.repairPol = dr
+	}
+	if es, ok := e.specPol.(EdgeSpecPolicy); ok {
+		e.edgeSpec = es
+	}
+	if ec, ok := e.checkPol.(EdgeCheckPolicy); ok {
+		e.edgeCheck = ec
 	}
 	e.ob = newEngineObs(cfg.Metrics, cfg.Journal, p.ID())
 	if e.ob != nil {
@@ -576,14 +603,16 @@ func (e *engine) broadcast(t int) {
 	}
 }
 
-// needs reports whether this processor reads peer k's payload.
+// needs reports whether this processor reads peer k's payload — k is the
+// source of one of this processor's in-edges.
 func (e *engine) needs(k int) bool {
-	return e.nbrs == nil || e.nbrs.Needs(k)
+	return e.needsM[k]
 }
 
-// neededBy reports whether peer k reads this processor's payload.
+// neededBy reports whether peer k reads this processor's payload — k is the
+// destination of one of this processor's out-edges.
 func (e *engine) neededBy(k int) bool {
-	return e.nbrs == nil || e.nbrs.NeededBy(k)
+	return e.neededByM[k]
 }
 
 // drain moves every delivered message into the received stash, dispatching
@@ -675,7 +704,15 @@ func (e *engine) speculate(k, t int) []float64 {
 	if steps < 1 {
 		steps = 1
 	}
-	pred, ops := e.specPol.Speculate(k, hist, steps)
+	var (
+		pred []float64
+		ops  float64
+	)
+	if e.edgeSpec != nil {
+		pred, ops = e.edgeSpec.SpeculateEdge(Edge{From: k, To: e.p.ID()}, hist, steps)
+	} else {
+		pred, ops = e.specPol.Speculate(k, hist, steps)
+	}
 	e.p.Compute(ops, cluster.PhaseSpec)
 	return pred
 }
@@ -843,7 +880,12 @@ func (e *engine) validateIter(t int) {
 			// is accepted unverified and contributes no history entry.
 			continue
 		}
-		res := e.checkPol.Check(k, preds[k], act, e.plane.ownAt(t), t)
+		var res CheckResult
+		if e.edgeCheck != nil {
+			res = e.edgeCheck.CheckEdge(Edge{From: k, To: e.p.ID()}, preds[k], act, e.plane.ownAt(t), t)
+		} else {
+			res = e.checkPol.Check(k, preds[k], act, e.plane.ownAt(t), t)
+		}
 		if res.Ops > 0 {
 			e.p.Compute(res.Ops, cluster.PhaseCheck)
 		}
@@ -882,6 +924,7 @@ func (e *engine) validateIter(t int) {
 	e.ob.repaired(t, e.frontier-t)
 	fixed, ops := e.repairPol.Repair(RepairContext{
 		Iter:     t,
+		Node:     e.p.ID(),
 		View:     view,
 		Computed: e.plane.ownAt(t + 1),
 		Local:    e.plane.ownAt(t),
@@ -900,7 +943,7 @@ func (e *engine) validateIter(t int) {
 	for s := t + 1; s <= e.frontier; s++ {
 		row := e.plane.viewAt(s)
 		row[e.p.ID()] = e.plane.ownAt(s)
-		redo, cops := e.repairPol.Cascade(CascadeContext{Iter: s, View: row, Worst: worst})
+		redo, cops := e.repairPol.Cascade(CascadeContext{Iter: s, Node: e.p.ID(), View: row, Worst: worst})
 		e.plane.setOwn(s+1, redo)
 		e.p.Compute(cops, cluster.PhaseCorrect)
 		e.stats.CascadeRedos++

@@ -28,15 +28,10 @@ import (
 var updateGolden = flag.Bool("update-golden", false, "rewrite journal golden fixtures")
 
 type goldenCase struct {
-	name string
-	run  func(t *testing.T, jr *obs.Journal)
-}
-
-func goldenCoupled(t *testing.T, jr *obs.Journal, cc cluster.Config, cfg Config, threshold float64) {
-	t.Helper()
-	cc.Journal = jr
-	cfg.Journal = jr
-	runCoupled(t, cc, cfg, threshold)
+	name      string
+	cc        func() cluster.Config
+	cfg       func() Config
+	threshold float64
 }
 
 func goldenCases() []goldenCase {
@@ -44,34 +39,36 @@ func goldenCases() []goldenCase {
 		{
 			// The plain speculative pipeline: FW=1, occasional repairs.
 			name: "fw1",
-			run: func(t *testing.T, jr *obs.Journal) {
-				cc := cluster.Config{
+			cc: func() cluster.Config {
+				return cluster.Config{
 					Machines: cluster.UniformMachines(4, 1000),
 					Net:      netmodel.Fixed{D: 0.4},
 					Seed:     7,
 				}
-				goldenCoupled(t, jr, cc, Config{FW: 1, MaxIter: 12}, 1e-4)
 			},
+			cfg:       func() Config { return Config{FW: 1, MaxIter: 12} },
+			threshold: 1e-4,
 		},
 		{
 			// Deep forward window with a zero tolerance: every imperfect
 			// speculation repairs and cascades through the pipeline.
 			name: "fw3-cascade",
-			run: func(t *testing.T, jr *obs.Journal) {
-				cc := cluster.Config{
+			cc: func() cluster.Config {
+				return cluster.Config{
 					Machines: cluster.UniformMachines(4, 1000),
 					Net:      netmodel.Fixed{D: 0.25},
 					Seed:     11,
 				}
-				goldenCoupled(t, jr, cc, Config{FW: 3, MaxIter: 18}, 0)
 			},
+			cfg:       func() Config { return Config{FW: 3, MaxIter: 18} },
+			threshold: 0,
 		},
 		{
 			// Graceful degradation: a transient spike on one link forces
 			// deadline expiries, overruns and reconciliations.
 			name: "degrade",
-			run: func(t *testing.T, jr *obs.Journal) {
-				cc := cluster.Config{
+			cc: func() cluster.Config {
+				return cluster.Config{
 					Machines: cluster.UniformMachines(3, 1000),
 					Net: netmodel.TransientSpike{
 						Inner: netmodel.Fixed{D: 0.05},
@@ -80,16 +77,16 @@ func goldenCases() []goldenCase {
 					},
 					Seed: 3,
 				}
-				goldenCoupled(t, jr, cc,
-					Config{FW: 2, MaxIter: 20, Deadline: 0.3}, 0.01)
 			},
+			cfg:       func() Config { return Config{FW: 2, MaxIter: 20, Deadline: 0.3} },
+			threshold: 0.01,
 		},
 		{
 			// Crash/restart recovery: checkpoints (whose encoded byte counts
 			// land in the journal), a restore, rejoin service and catch-up.
 			name: "crash",
-			run: func(t *testing.T, jr *obs.Journal) {
-				cc := cluster.Config{
+			cc: func() cluster.Config {
+				return cluster.Config{
 					Machines:     cluster.UniformMachines(4, 1000),
 					Net:          netmodel.Fixed{D: 0.02},
 					Reliable:     true,
@@ -97,24 +94,51 @@ func goldenCases() []goldenCase {
 					Seed:         19,
 					Crashes:      faults.CrashSchedule{{Proc: 2, At: 8, Downtime: 2}},
 				}
-				goldenCoupled(t, jr, cc, Config{
+			},
+			cfg: func() Config {
+				return Config{
 					FW:              1,
 					MaxIter:         60,
 					Deadline:        0.3,
 					CheckpointEvery: 5,
 					CheckpointStore: checkpoint.NewMemStore(),
 					CheckpointOps:   50,
-				}, 0.02)
+				}
 			},
+			threshold: 0.02,
 		},
 	}
+}
+
+// goldenJournal runs one golden case (optionally transforming its Config)
+// and returns the serialized journal.
+func goldenJournal(t *testing.T, tc goldenCase, mutate func(*Config)) []byte {
+	t.Helper()
+	jr := obs.NewJournal()
+	cc := tc.cc()
+	cfg := tc.cfg()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	cc.Journal = jr
+	cfg.Journal = jr
+	runCoupled(t, cc, cfg, tc.threshold)
+	var b bytes.Buffer
+	if err := jr.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
 }
 
 func TestGoldenJournals(t *testing.T) {
 	for _, tc := range goldenCases() {
 		t.Run(tc.name, func(t *testing.T) {
 			jr := obs.NewJournal()
-			tc.run(t, jr)
+			cc := tc.cc()
+			cfg := tc.cfg()
+			cc.Journal = jr
+			cfg.Journal = jr
+			runCoupled(t, cc, cfg, tc.threshold)
 			var b bytes.Buffer
 			if err := jr.WriteJSONL(&b); err != nil {
 				t.Fatal(err)
@@ -157,6 +181,31 @@ func TestGoldenJournals(t *testing.T) {
 					hiW = len(w)
 				}
 				t.Logf("first divergence at byte %d\n got: …%s…\nwant: …%s…", diffAt, g[lo:hiG], w[lo:hiW])
+			}
+		})
+	}
+}
+
+// TestDegenerateGraphGolden pins the DepGraph refactor's central contract:
+// an explicitly configured complete graph is the degenerate one-stage case
+// of the classical engine. Every seeded golden scenario re-run with
+// Config.Graph = CompleteGraph(P) must produce a journal byte-identical to
+// the committed fixture — the same fixture that pins the pre-refactor
+// engine — so fixed-neighbor apps run unmodified through the DepGraph path.
+func TestDegenerateGraphGolden(t *testing.T) {
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			got := goldenJournal(t, tc, func(cfg *Config) {
+				cfg.Graph = CompleteGraph(len(tc.cc().Machines))
+			})
+			path := filepath.Join("testdata", "journal_"+tc.name+".jsonl")
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing fixture (run TestGoldenJournals with -update-golden): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("explicit CompleteGraph run diverged from fixture %s: got %d bytes, want %d",
+					path, len(got), len(want))
 			}
 		})
 	}

@@ -27,6 +27,25 @@ type SpecPolicy interface {
 	Recycle(pred []float64)
 }
 
+// EdgeSpecPolicy is an optional SpecPolicy extension for policies that
+// differentiate by dependency edge: when the configured SpecPolicy also
+// implements it, the engine calls SpeculateEdge instead of Speculate, with
+// the edge it is predicting across (From = the peer being predicted, To =
+// the local processor). Under a task DAG different edges carry different
+// signals — a pipeline hop from a smooth source extrapolates well while a
+// hop from a thresholding stage may not — and this is where a policy keys
+// per-hop predictors or windows.
+type EdgeSpecPolicy interface {
+	SpeculateEdge(e Edge, hist [][]float64, steps int) (pred []float64, ops float64)
+}
+
+// EdgeCheckPolicy is the CheckPolicy analogue of EdgeSpecPolicy: CheckEdge
+// replaces Check when implemented, receiving the dependency edge being
+// validated so tolerances can vary per hop.
+type EdgeCheckPolicy interface {
+	CheckEdge(e Edge, predicted, actual, local []float64, iter int) CheckResult
+}
+
 // CheckPolicy judges a speculated payload against the actual message — the
 // paper's error > threshold test. The default delegates to App.Check;
 // replacements can change the metric or threshold per pair without touching
@@ -39,6 +58,7 @@ type CheckPolicy interface {
 // validation. All slices are engine-owned and only valid during the call.
 type RepairContext struct {
 	Iter     int
+	Node     int         // the local processor (the To of every bad edge)
 	View     [][]float64 // global view with actuals patched over bad predictions
 	Computed []float64   // the speculatively computed X_j(Iter+1)
 	Local    []float64   // X_j(Iter)
@@ -51,6 +71,7 @@ type RepairContext struct {
 // of a repair whose inputs transitively changed.
 type CascadeContext struct {
 	Iter  int
+	Node  int         // the local processor
 	View  [][]float64 // iteration Iter's view with the repaired local entry
 	Worst CheckResult // the upstream repair's accumulated check result
 }

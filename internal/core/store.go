@@ -116,18 +116,25 @@ func (l *lane[T]) setFloor(floor int, recycle func(T)) {
 	}
 }
 
-// valuePlane is one processor's payload store.
+// valuePlane is one processor's payload store. Peer state is keyed by
+// dependency edge: one lane per in-edge of the run's DepGraph (for the
+// degenerate complete graph that is one lane per peer, the classical
+// layout), with laneOf translating a source rank to its lane index.
 type valuePlane struct {
 	self int
 	np   int
 	pool *bufPool
 
-	// peers[k] stashes peer k's actual iteration payloads as delivered
-	// (buffers are adopted from the transport and never recycled, so stored
-	// history may alias them safely). peers[self] is unused.
+	// laneOf[k] is the dense in-edge index of source rank k, or -1 when no
+	// edge k→self exists (payloads from such ranks are dropped on arrival).
+	laneOf []int
+	// peers[i] stashes the i-th in-edge's actual iteration payloads as
+	// delivered (buffers are adopted from the transport and never recycled,
+	// so stored history may alias them safely).
 	peers []lane[[]float64]
-	// hist[k] is peer k's validated history: the BW newest validated
-	// snapshots, the speculation fallback when the stash has no base.
+	// hist[i] is the i-th in-edge's validated history: the BW newest
+	// validated snapshots, the speculation fallback when the stash has no
+	// base.
 	hist []*history.Ring[histEntry]
 	// own holds the local partition per iteration, copied into pooled
 	// buffers so app-returned slices are never retained.
@@ -142,34 +149,61 @@ type valuePlane struct {
 	convScratch [][]float64
 }
 
-func newValuePlane(self, np, bw, peerCap, iterCap int) *valuePlane {
+// newValuePlane builds the payload store for one processor. in is the
+// sorted list of source ranks this processor reads (its in-edges); only
+// those ranks get stash/history lanes.
+func newValuePlane(self, np, bw, peerCap, iterCap int, in []int) *valuePlane {
 	vp := &valuePlane{
 		self:        self,
 		np:          np,
 		pool:        newBufPool(),
-		peers:       make([]lane[[]float64], np),
-		hist:        make([]*history.Ring[histEntry], np),
+		laneOf:      make([]int, np),
+		peers:       make([]lane[[]float64], len(in)),
+		hist:        make([]*history.Ring[histEntry], len(in)),
 		own:         newLane[[]float64](iterCap),
 		views:       newLane[[][]float64](iterCap),
 		preds:       newLane[[][]float64](iterCap),
 		histScratch: make([][]float64, 0, bw),
 		convScratch: make([][]float64, np),
 	}
-	for k := 0; k < np; k++ {
-		if k == self {
-			continue
-		}
-		vp.peers[k] = newLane[[]float64](peerCap)
-		vp.hist[k] = history.NewRing[histEntry](bw)
+	for k := range vp.laneOf {
+		vp.laneOf[k] = -1
+	}
+	for i, k := range in {
+		vp.laneOf[k] = i
+		vp.peers[i] = newLane[[]float64](peerCap)
+		vp.hist[i] = history.NewRing[histEntry](bw)
 	}
 	return vp
 }
 
+// peerLane returns source rank k's stash lane, or nil when no edge k→self
+// exists.
+func (vp *valuePlane) peerLane(k int) *lane[[]float64] {
+	if i := vp.laneOf[k]; i >= 0 {
+		return &vp.peers[i]
+	}
+	return nil
+}
+
+// histRing returns source rank k's validated-history ring, or nil when no
+// edge k→self exists.
+func (vp *valuePlane) histRing(k int) *history.Ring[histEntry] {
+	if i := vp.laneOf[k]; i >= 0 {
+		return vp.hist[i]
+	}
+	return nil
+}
+
 // stash records an actual snapshot, first-wins: a rejoin re-send must never
-// overwrite the copy peers already computed against. Dropped evictions are
+// overwrite the copy peers already computed against. Payloads from ranks
+// with no edge to this processor are dropped. Dropped evictions are
 // transport-owned buffers; the GC takes them.
 func (vp *valuePlane) stash(src, iter int, data []float64) {
-	l := &vp.peers[src]
+	l := vp.peerLane(src)
+	if l == nil {
+		return
+	}
 	if _, ok := l.get(iter); ok {
 		return
 	}
@@ -178,13 +212,19 @@ func (vp *valuePlane) stash(src, iter int, data []float64) {
 
 // actualOf returns peer k's stashed iteration-iter payload.
 func (vp *valuePlane) actualOf(k, iter int) ([]float64, bool) {
-	return vp.peers[k].get(iter)
+	l := vp.peerLane(k)
+	if l == nil {
+		return nil, false
+	}
+	return l.get(iter)
 }
 
 // pushHistory appends a validated snapshot to peer k's backward window.
 // data aliases the stash (stashed buffers are immutable), so no copy.
 func (vp *valuePlane) pushHistory(k, iter int, data []float64) {
-	vp.hist[k].Push(histEntry{iter: iter, data: data})
+	if r := vp.histRing(k); r != nil {
+		r.Push(histEntry{iter: iter, data: data})
+	}
 }
 
 // collectHist gathers the newest-first speculation history for peer k at
@@ -193,14 +233,18 @@ func (vp *valuePlane) pushHistory(k, iter int, data []float64) {
 // bw-1 consecutive predecessors; falling back to the validated-history ring
 // when the stash has no base. Returns base -1 when there is no history.
 func (vp *valuePlane) collectHist(k, t, lookback, bw int) ([][]float64, int) {
+	l := vp.peerLane(k)
+	if l == nil {
+		return nil, -1
+	}
 	hist := vp.histScratch[:0]
 	base := -1
 	for s := t - 1; s >= 0 && s >= t-lookback; s-- {
-		if v, ok := vp.peers[k].get(s); ok {
+		if v, ok := l.get(s); ok {
 			base = s
 			hist = append(hist, v)
 			for q := s - 1; q >= 0 && len(hist) < bw; q-- {
-				v2, ok2 := vp.peers[k].get(q)
+				v2, ok2 := l.get(q)
 				if !ok2 {
 					break
 				}
@@ -210,7 +254,7 @@ func (vp *valuePlane) collectHist(k, t, lookback, bw int) ([][]float64, int) {
 		}
 	}
 	if base == -1 {
-		r := vp.hist[k]
+		r := vp.histRing(k)
 		if r.Len() == 0 {
 			return nil, -1
 		}
@@ -331,11 +375,8 @@ func (vp *valuePlane) dropPreds(iter int, recycle func([]float64)) {
 // reached `validated`: stashed actuals stay useful for lookback iterations,
 // own/view/prediction state only around the validation point.
 func (vp *valuePlane) advanceFloors(validated, lookback int) {
-	for k := range vp.peers {
-		if k == vp.self {
-			continue
-		}
-		vp.peers[k].setFloor(validated-lookback, nil)
+	for i := range vp.peers {
+		vp.peers[i].setFloor(validated-lookback, nil)
 	}
 	vp.own.setFloor(validated-1, vp.pool.put)
 	vp.views.setFloor(validated, vp.freeRow)
@@ -365,7 +406,7 @@ func (vp *valuePlane) ownEntries(validated, frontier int) []checkpoint.Entry {
 }
 
 func (vp *valuePlane) histEntries(k int) []checkpoint.Entry {
-	r := vp.hist[k]
+	r := vp.histRing(k)
 	if r == nil {
 		return nil
 	}
@@ -378,8 +419,8 @@ func (vp *valuePlane) histEntries(k int) []checkpoint.Entry {
 }
 
 func (vp *valuePlane) receivedEntries(k, from int) []checkpoint.Entry {
-	l := &vp.peers[k]
-	if l.ring == nil {
+	l := vp.peerLane(k)
+	if l == nil || l.ring == nil {
 		return nil
 	}
 	maxIter, any := l.ring.MaxIter()

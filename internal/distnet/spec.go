@@ -9,6 +9,7 @@ package distnet
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 
 	"specomp/internal/apps/heat"
 	"specomp/internal/apps/jacobi"
@@ -16,6 +17,7 @@ import (
 	"specomp/internal/core"
 	"specomp/internal/obs"
 	"specomp/internal/partition"
+	"specomp/internal/pipeline"
 )
 
 // RunSpec describes one distributed run. The coordinator normalizes it once
@@ -23,8 +25,10 @@ import (
 // identical normalized copy, so all processors run behaviourally identical
 // configs (the engine's standing requirement).
 type RunSpec struct {
-	// App selects the application: "heat" (2-D diffusion stencil) or
-	// "jacobi" (dense diagonally dominant linear system).
+	// App selects the application: "heat" (2-D diffusion stencil), "jacobi"
+	// (dense diagonally dominant linear system) or "pipeline" (a multi-stage
+	// streaming pipeline on the engine's dependency-graph support, one stage
+	// per rank).
 	App string `json:"app"`
 	// Procs is the number of node processes.
 	Procs int `json:"procs"`
@@ -40,6 +44,16 @@ type RunSpec struct {
 	Cols int `json:"cols,omitempty"`
 	// N sizes the jacobi system.
 	N int `json:"n,omitempty"`
+	// Width is the pipeline's per-stage row width.
+	Width int `json:"width,omitempty"`
+	// Placement maps pipeline stage -> rank (a permutation of 0..Procs-1);
+	// empty means stage s runs on rank s. It travels in the spec so every
+	// node derives the identical rank-level dependency graph.
+	Placement []int `json:"placement,omitempty"`
+	// Exact zeroes every pipeline stage's check tolerance, making an FW=1
+	// run bit-identical to the serial reference (every broadcast is
+	// validated or repaired before it is sent).
+	Exact bool `json:"exact,omitempty"`
 	// Tol, when positive, enables jacobi's convergence stopper.
 	Tol float64 `json:"tol,omitempty"`
 	// Seed seeds problem generation (jacobi) — every node must agree.
@@ -146,10 +160,33 @@ func (s *RunSpec) Normalize() error {
 		if s.N < s.Procs {
 			return fmt.Errorf("distnet: jacobi system of %d variables cannot be split over %d processors", s.N, s.Procs)
 		}
+	case "pipeline":
+		if s.Procs < 2 {
+			return fmt.Errorf("distnet: a pipeline needs at least 2 stages, got %d processors", s.Procs)
+		}
+		if s.Width <= 0 {
+			s.Width = 16
+		}
+		// Building the placed DepGraph validates Placement (length,
+		// permutation, range) once, centrally, before the spec ships.
+		if _, err := s.pipelineGraph().DepGraph(s.Placement); err != nil {
+			return fmt.Errorf("distnet: %w", err)
+		}
 	default:
-		return fmt.Errorf("distnet: unknown app %q (want heat or jacobi)", s.App)
+		return fmt.Errorf("distnet: unknown app %q (want heat, jacobi or pipeline)", s.App)
 	}
 	return nil
+}
+
+// pipelineGraph builds the spec's stage graph. Construction is deterministic
+// in (Procs, Width, Seed), so every node process derives the identical
+// pipeline from the coordinator's normalized spec.
+func (s RunSpec) pipelineGraph() *pipeline.Graph {
+	g := pipeline.Chain(s.Procs, s.Width, s.Seed)
+	if s.Exact {
+		g.SetUniformTol(0)
+	}
+	return g
 }
 
 // Blocks returns the per-processor variable ranges of the spec's uniform
@@ -188,8 +225,56 @@ func BuildApp(s RunSpec, rank int) (core.App, error) {
 		app := jacobi.NewApp(prob, s.Blocks(), rank, s.Theta)
 		app.Tol = s.Tol
 		return app, nil
+	case "pipeline":
+		// The stage adapter implements core.Grapher, so the engine picks up
+		// the placed chain DepGraph without any transport involvement.
+		return s.pipelineGraph().AppAt(s.Placement, rank)
 	}
 	return nil, fmt.Errorf("distnet: unknown app %q", s.App)
+}
+
+// SerialPipeline evaluates the spec's pipeline on the lockstep serial
+// reference and returns each stage's final row, stage-indexed.
+func (s RunSpec) SerialPipeline() ([][]float64, error) {
+	if s.App != "pipeline" {
+		return nil, fmt.Errorf("distnet: SerialPipeline on app %q", s.App)
+	}
+	return s.pipelineGraph().Serial(s.MaxIter), nil
+}
+
+// VerifyPipeline compares every rank's reported final row against the serial
+// reference, honouring the spec's stage placement, and fails if any element
+// deviates by more than envelope. An Exact FW<=1 run must pass with an
+// envelope of 0; tolerance-mode runs pass within their contraction envelope.
+func VerifyPipeline(s RunSpec, reports []NodeReport, envelope float64) error {
+	want, err := s.SerialPipeline()
+	if err != nil {
+		return err
+	}
+	byRank := make(map[int][]float64, len(reports))
+	for _, rep := range reports {
+		byRank[rep.Rank] = rep.Final
+	}
+	for stage := range want {
+		rank := stage
+		if s.Placement != nil {
+			rank = s.Placement[stage]
+		}
+		final, ok := byRank[rank]
+		if !ok {
+			return fmt.Errorf("distnet: no report from rank %d (stage %d)", rank, stage)
+		}
+		if len(final) != len(want[stage]) {
+			return fmt.Errorf("distnet: stage %d final has %d values, want %d", stage, len(final), len(want[stage]))
+		}
+		for i, v := range final {
+			if d := math.Abs(v - want[stage][i]); d > envelope {
+				return fmt.Errorf("distnet: stage %d (rank %d) element %d deviates %g from serial (envelope %g)",
+					stage, rank, i, d, envelope)
+			}
+		}
+	}
+	return nil
 }
 
 // AssembleHeat stitches the per-rank final strips of a heat run back into

@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"specomp/internal/apps/stencilreduce"
+	"specomp/internal/cluster"
+	"specomp/internal/core"
+	"specomp/internal/faults"
+	"specomp/internal/netmodel"
+	"specomp/internal/pipeline"
+)
+
+// ExtDAG exercises the engine's dependency-graph generalisation: instead of
+// the paper's all-to-all exchange, each rank speculates only along its
+// declared in-edges. Three task graphs are measured blocking vs speculative
+// and validated against their serial references:
+//
+//   - a 3-stage streaming pipeline (chain DAG): feed-forward graphs already
+//     pipeline when blocking, so the gain column reports the idle time the
+//     stages spend waiting on upstream rows, which speculation collapses;
+//   - a 6-hop retrieval-style chain, same structure but deeper;
+//   - the stencil+reduce composition (cyclic worker adjacency + fan-in
+//     reduce): mutually coupled ranks pay the link latency every tick when
+//     blocking, so here the gain column is end-to-end virtual time.
+//
+// A final case re-runs the pipeline with per-edge faults injected on one
+// DAG edge only, checking that repairs localise to the faulty edge's
+// consumer and the finals still land inside the tolerance envelope.
+func ExtDAG(cfg NBodyConfig) (Report, error) {
+	rep := Report{
+		ID:    "ext-dag",
+		Title: "speculative task DAGs and pipelines (extension)",
+	}
+	rep.Lines = append(rep.Lines,
+		fmt.Sprintf("%-14s %-12s %12s %12s %8s", "graph", "metric", "blocking", "spec", "gain%"))
+	gains := Series{Name: "gain%"}
+	record := func(i int, name, metric string, tb, ts float64) {
+		gain := 100 * (tb - ts) / tb
+		gains.X = append(gains.X, float64(i))
+		gains.Y = append(gains.Y, gain)
+		rep.Lines = append(rep.Lines,
+			fmt.Sprintf("%-14s %-12s %12.2f %12.2f %7.1f%%", name, metric, tb, ts, gain))
+	}
+
+	// Case 1+2: feed-forward pipelines. Metric: total idle time on upstream
+	// rows (CommTime), the cost speculation exists to hide in a chain.
+	type chainCase struct {
+		name  string
+		graph *pipeline.Graph
+		iters int
+	}
+	chains := []chainCase{
+		{"pipeline3", pipeline.ThreeStage(16, 42), 40},
+		{"chain6", pipeline.Chain(6, 16, 42), 40},
+	}
+	for i, c := range chains {
+		want := c.graph.Serial(c.iters)
+		run := func(fw int) ([]core.Result, error) {
+			return core.RunCluster(
+				cluster.Config{
+					Machines: cluster.UniformMachines(c.graph.Stages(), 1000),
+					Net:      netmodel.Fixed{D: 0.3},
+					Seed:     1,
+				},
+				core.Config{FW: fw, MaxIter: c.iters},
+				func(p *cluster.Proc) core.App { return c.graph.App(p.ID()) })
+		}
+		rb, err := run(0)
+		if err != nil {
+			return rep, err
+		}
+		rs, err := run(2)
+		if err != nil {
+			return rep, err
+		}
+		record(i, c.name, "idle(s)", totalComm(rb), totalComm(rs))
+		if d := dagDrift(rs, want, nil); d > 0.05 {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("%s drifted %.3g from serial (envelope 0.05)", c.name, d))
+		}
+		if core.Aggregate(rs).SpecsMade == 0 {
+			rep.Failures = append(rep.Failures, c.name+": no speculation along the chain edges")
+		}
+	}
+
+	// Case 3: stencil+reduce — cyclic adjacency, end-to-end virtual time.
+	{
+		sc := stencilreduce.Default(32, 4)
+		const iters = 40
+		wantField, wantStats := sc.SerialRun(iters)
+		run := func(fw int) ([]core.Result, error) {
+			return core.RunCluster(
+				cluster.Config{
+					Machines: cluster.UniformMachines(sc.Procs(), 1000),
+					Net:      netmodel.Fixed{D: 0.2},
+					Seed:     5,
+				},
+				core.Config{FW: fw, MaxIter: iters},
+				func(p *cluster.Proc) core.App { return stencilreduce.NewApp(sc, p.ID()) })
+		}
+		rb, err := run(0)
+		if err != nil {
+			return rep, err
+		}
+		rs, err := run(2)
+		if err != nil {
+			return rep, err
+		}
+		record(2, "stencilreduce", "total(s)", core.TotalTime(rb), core.TotalTime(rs))
+		field := make([]float64, 0, sc.Cells)
+		for w := 0; w < sc.Workers; w++ {
+			field = append(field, rs[w].Final...)
+		}
+		if d := maxAbsDiff(field, wantField); d > 0.15 {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("stencilreduce field drifted %.3g from serial (envelope 0.15)", d))
+		}
+		if d := maxAbsDiff(rs[sc.Reducer()].Final, wantStats); d > 0.15 {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("stencilreduce stats drifted %.3g from serial (envelope 0.15)", d))
+		}
+	}
+
+	// Case 4: per-edge faults. Drop/duplicate frames on the source→filter
+	// edge only; repairs must show up at the filter (the faulty edge's
+	// consumer) and the pipeline must still land inside the envelope.
+	{
+		g := pipeline.ThreeStage(16, 42)
+		const iters = 40
+		want := g.Serial(iters)
+		results, err := core.RunCluster(
+			cluster.Config{
+				Machines: cluster.UniformMachines(g.Stages(), 1000),
+				Net: faults.EdgeFaults{
+					Clean: netmodel.Fixed{D: 0.3},
+					Faulty: faults.Drop{
+						Prob:  0.15,
+						Inner: faults.Duplicate{Prob: 0.1, Inner: netmodel.Fixed{D: 0.3}},
+					},
+					Edges: []faults.Edge{{From: 0, To: 1}},
+				},
+				Reliable:     true,
+				RetryTimeout: 0.9,
+				Seed:         23,
+			},
+			core.Config{FW: 2, MaxIter: iters},
+			func(p *cluster.Proc) core.App { return g.App(p.ID()) })
+		if err != nil {
+			return rep, err
+		}
+		rep.Lines = append(rep.Lines, fmt.Sprintf(
+			"per-edge faults on source→filter: filter repairs=%d dups-dropped=%d, source retries=%d, drift=%.3g",
+			results[1].Stats.Repairs, results[1].Stats.Net.DupsDropped, results[0].Stats.Net.Retries,
+			dagDrift(results, want, nil)))
+		if results[0].Stats.Net.Retries == 0 {
+			rep.Failures = append(rep.Failures, "edge faults never triggered a retransmit on the faulty edge")
+		}
+		if d := dagDrift(results, want, nil); d > 0.05 {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("faulty-edge pipeline drifted %.3g from serial (envelope 0.05)", d))
+		}
+	}
+
+	rep.Series = []Series{gains}
+	return rep, nil
+}
+
+// totalComm sums the time every rank spent idle waiting on messages.
+func totalComm(results []core.Result) float64 {
+	total := 0.0
+	for _, r := range results {
+		total += r.Stats.CommTime
+	}
+	return total
+}
+
+// dagDrift returns the worst |final - want| over all stages; place maps
+// stage→rank (nil = identity).
+func dagDrift(results []core.Result, want [][]float64, place []int) float64 {
+	worst := 0.0
+	for s := range want {
+		rank := s
+		if place != nil {
+			rank = place[s]
+		}
+		if d := maxAbsDiff(results[rank].Final, want[s]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	worst := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

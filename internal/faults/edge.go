@@ -1,0 +1,57 @@
+package faults
+
+import (
+	"math/rand"
+
+	"specomp/internal/netmodel"
+)
+
+var _ netmodel.FaultyModel = EdgeFaults{}
+
+// Edge identifies one directed dependency edge by rank pair: messages from
+// From to To travel along it. It mirrors core.Edge without importing the
+// engine (faults sits below core in the dependency order).
+type Edge struct{ From, To int }
+
+// EdgeFaults scopes fault injection to individual DAG edges: messages
+// travelling along one of the listed directed edges go through the Faulty
+// model, every other message goes through Clean. Earlier fault studies
+// could only target rank pairs via each injector's own Src/Dst fields;
+// with dependency graphs the natural fault unit is the edge, and this
+// wrapper lets one Faulty stack (loss, duplication, spikes, ...) be pinned
+// to exactly the edges under study.
+//
+// Routing consumes no randomness and consults exactly one of the two
+// models per message, so a seeded run stays deterministic and an Injector
+// wrapping an EdgeFaults stack consumes the RNG in the same order as the
+// simulated cluster — the parity TestEdgeFaultsInjectorParity pins.
+type EdgeFaults struct {
+	Clean  netmodel.Model
+	Faulty netmodel.Model
+	Edges  []Edge
+}
+
+func (m EdgeFaults) pick(msg netmodel.Msg) netmodel.Model {
+	for _, e := range m.Edges {
+		if msg.Src == e.From && msg.Dst == e.To {
+			return m.Faulty
+		}
+	}
+	return m.Clean
+}
+
+// Delay implements netmodel.Model (fault-free single delivery).
+func (m EdgeFaults) Delay(msg netmodel.Msg, rng *rand.Rand) float64 {
+	return m.pick(msg).Delay(msg, rng)
+}
+
+// Deliveries implements netmodel.FaultyModel.
+func (m EdgeFaults) Deliveries(msg netmodel.Msg, rng *rand.Rand) []float64 {
+	return netmodel.DeliveriesOf(m.pick(msg), msg, rng)
+}
+
+// Reset forwards to both wrapped models.
+func (m EdgeFaults) Reset() {
+	netmodel.ResetModel(m.Clean)
+	netmodel.ResetModel(m.Faulty)
+}

@@ -1,0 +1,96 @@
+package faults
+
+import (
+	"math/rand"
+	"testing"
+
+	"specomp/internal/netmodel"
+)
+
+// edgeStack is the per-edge model under test: total loss on the listed
+// edges, a plain fixed-latency link everywhere else. Total loss makes the
+// routing observable without statistics.
+func edgeStack(edges ...Edge) EdgeFaults {
+	return EdgeFaults{
+		Clean:  netmodel.Fixed{D: 0.01},
+		Faulty: Drop{Prob: 1, Inner: netmodel.Fixed{D: 0.01}},
+		Edges:  edges,
+	}
+}
+
+// TestEdgeFaultsRouting: only the listed directed edges see the faulty
+// model — the reverse direction and unrelated pairs stay clean.
+func TestEdgeFaultsRouting(t *testing.T) {
+	m := edgeStack(Edge{From: 0, To: 1})
+	rng := rand.New(rand.NewSource(1))
+	at := func(src, dst int) int {
+		return len(m.Deliveries(netmodel.Msg{Src: src, Dst: dst, Bytes: 64, Procs: 4}, rng))
+	}
+	if got := at(0, 1); got != 0 {
+		t.Errorf("faulty edge 0->1 delivered %d copies, want 0", got)
+	}
+	if got := at(1, 0); got != 1 {
+		t.Errorf("reverse direction 1->0 delivered %d copies, want 1 (edges are directed)", got)
+	}
+	if got := at(2, 3); got != 1 {
+		t.Errorf("unrelated pair 2->3 delivered %d copies, want 1", got)
+	}
+}
+
+// TestEdgeFaultsInjectorParity: an Injector wrapping an EdgeFaults stack
+// plans exactly the deliveries the simulated cluster computes for the same
+// seed and message sequence — per-edge scoping does not perturb the RNG
+// consumption order the two substrates share.
+func TestEdgeFaultsInjectorParity(t *testing.T) {
+	const seed = 9
+	stack := func() netmodel.Model {
+		return EdgeFaults{
+			Clean: netmodel.Fixed{D: 0.02},
+			Faulty: Drop{
+				Prob: 0.3,
+				Inner: Duplicate{
+					Prob:  0.25,
+					Inner: DelaySpikes{Prob: 0.2, ExtraMin: 0.01, ExtraMax: 0.1, Inner: netmodel.Fixed{D: 0.02}},
+				},
+			},
+			Edges: []Edge{{From: 0, To: 1}, {From: 2, To: 1}},
+		}
+	}
+	msgs := scenario(11, 500)
+
+	simRNG := rand.New(rand.NewSource(seed))
+	simModel := stack()
+	var simPlans [][]float64
+	for _, m := range msgs {
+		plan := netmodel.DeliveriesOf(simModel, m, simRNG)
+		cp := make([]float64, len(plan))
+		copy(cp, plan)
+		simPlans = append(simPlans, cp)
+	}
+
+	inj := NewInjector(stack(), seed)
+	faultyMsgs, drops := 0, 0
+	for i, m := range msgs {
+		plan := inj.Plan(m.Src, m.Dst, m.Bytes, m.Procs, m.Now)
+		want := simPlans[i]
+		if len(plan) != len(want) {
+			t.Fatalf("msg %d: got %d deliveries, simulated model got %d", i, len(plan), len(want))
+		}
+		for k := range plan {
+			if plan[k] != want[k] {
+				t.Fatalf("msg %d copy %d: delay %g != simulated %g", i, k, plan[k], want[k])
+			}
+		}
+		if (m.Src == 0 || m.Src == 2) && m.Dst == 1 {
+			faultyMsgs++
+			if len(plan) == 0 {
+				drops++
+			}
+		} else if len(plan) != 1 {
+			t.Fatalf("msg %d off the faulty edges got %d deliveries, want exactly 1", i, len(plan))
+		}
+	}
+	if faultyMsgs == 0 || drops == 0 {
+		t.Fatalf("degenerate scenario: %d messages on faulty edges, %d dropped", faultyMsgs, drops)
+	}
+}

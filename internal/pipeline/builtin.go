@@ -1,0 +1,161 @@
+package pipeline
+
+// Prebuilt pipelines shared by the example, the ext-dag experiments and the
+// distnet "pipeline" app. Construction is deterministic in (shape, seed), so
+// separate OS processes build identical graphs from the coordinator's spec.
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ThreeStage builds the canonical 3-stage streaming pipeline:
+//
+//	source → filter → aggregate
+//
+// The source emits a seeded mixture of sinusoids — smooth enough that the
+// engine's linear predictor tracks it, curved enough that predictions near
+// the extremes exceed tolerance and force visible repair cascades. The
+// filter applies a contractive exponential moving average of a mildly
+// nonlinear map of the source, and the aggregate folds the filtered row
+// into four running statistics (mean, rms, max, L1). Contraction makes the
+// downstream stages forgiving: tolerance-accepted speculation errors decay
+// instead of accumulating, so faulty runs still converge to the serial
+// reference.
+func ThreeStage(width int, seed int64) *Graph {
+	g := New()
+	src := g.Add(sourceStage(width, seed))
+	flt := g.Add(Stage{
+		Name:  "filter",
+		Width: width,
+		Ops:   float64(4 * width),
+		Tol:   5e-3,
+		Step: func(t int, self []float64, in [][]float64, out []float64) {
+			const beta = 0.4
+			for i, x := range in[0] {
+				y := x + 0.25*x*x
+				out[i] = self[i] + beta*(y-self[i])
+			}
+		},
+	}, src)
+	g.Add(aggregateStage(width), flt)
+	return g
+}
+
+// Chain builds a multi-hop retrieval-style pipeline of `stages` stages:
+// a query source followed by mixing hops (each recombining its upstream row
+// through a seeded linear blend, contractively) and a final ranking stage
+// folding scores into running statistics. stages must be >= 2.
+func Chain(stages, width int, seed int64) *Graph {
+	if stages < 2 {
+		panic("pipeline: Chain needs at least 2 stages")
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	g := New()
+	prev := g.Add(sourceStage(width, seed))
+	for h := 1; h < stages-1; h++ {
+		shift := 1 + rng.Intn(width)
+		a := 0.5 + 0.3*rng.Float64()
+		b := 0.2 + 0.2*rng.Float64()
+		beta := 0.3 + 0.3*rng.Float64()
+		prev = g.Add(Stage{
+			Name:  "hop" + string(rune('0'+h)),
+			Width: width,
+			Ops:   float64(5 * width),
+			Tol:   5e-3,
+			Step: func(t int, self []float64, in [][]float64, out []float64) {
+				w := len(in[0])
+				for i := range out {
+					mixed := a*in[0][i] + b*in[0][(i+shift)%w]
+					out[i] = self[i] + beta*(mixed-self[i])
+				}
+			},
+		}, prev)
+	}
+	g.Add(aggregateStage(width), prev)
+	return g
+}
+
+// sourceStage emits the seeded sinusoid mixture driving every built-in
+// pipeline. Element i follows amp·sin(ω·t + φ) + bias with per-element
+// coefficients, ω spread so some elements' curvature periodically defeats
+// linear extrapolation (repairs) while others track cleanly.
+func sourceStage(width int, seed int64) Stage {
+	rng := rand.New(rand.NewSource(seed))
+	amp := make([]float64, width)
+	om := make([]float64, width)
+	ph := make([]float64, width)
+	bias := make([]float64, width)
+	for i := 0; i < width; i++ {
+		amp[i] = 0.5 + rng.Float64()
+		// One-step linear extrapolation of amp·sin(ω·t) misses by about
+		// amp·ω²/2 per tick: with ω up to 0.15 that is ~0.017 — above the
+		// stages' 5e-3 default tolerance (periodic repairs near the
+		// extremes, which the tests rely on seeing) yet well inside a loose
+		// 0.05 tolerance (clean speculation, which the speed demos rely on).
+		om[i] = 0.05 + 0.1*rng.Float64()
+		ph[i] = 2 * math.Pi * rng.Float64()
+		bias[i] = 2 * rng.Float64()
+	}
+	at := func(t float64, i int) float64 {
+		return amp[i]*math.Sin(om[i]*t+ph[i]) + bias[i]
+	}
+	return Stage{
+		Name:  "source",
+		Width: width,
+		// The source is deliberately the expensive stage: it paces the
+		// pipeline, so the cheap downstream stages catch up to within one
+		// network delay of it and must speculate on its next row to stay
+		// busy — the regime the paper's forward window is for.
+		Ops: float64(10 * width),
+		Tol: 5e-3,
+		Init: func(out []float64) {
+			for i := range out {
+				out[i] = at(0, i)
+			}
+		},
+		Step: func(t int, self []float64, in [][]float64, out []float64) {
+			for i := range out {
+				out[i] = at(float64(t+1), i)
+			}
+		},
+	}
+}
+
+// aggregateStage folds its upstream row into four running statistics
+// (mean, rms, max, L1 mean), each tracked as a contractive moving average.
+func aggregateStage(width int) Stage {
+	return Stage{
+		Name:  "aggregate",
+		Width: 4,
+		Ops:   float64(4 * width),
+		Tol:   1e-2,
+		Step: func(t int, self []float64, in [][]float64, out []float64) {
+			const beta = 0.5
+			var sum, sq, max, l1 float64
+			for _, x := range in[0] {
+				sum += x
+				sq += x * x
+				if x > max {
+					max = x
+				}
+				l1 += math.Abs(x)
+			}
+			w := float64(len(in[0]))
+			out[0] = self[0] + beta*(sum/w-self[0])
+			out[1] = self[1] + beta*(math.Sqrt(sq/w)-self[1])
+			out[2] = self[2] + beta*(max-self[2])
+			out[3] = self[3] + beta*(l1/w-self[3])
+		},
+	}
+}
+
+// SetUniformTol overrides every stage's check tolerance — zero turns the
+// pipeline into an exactness harness where every imperfect prediction
+// repairs, making an FW=1 run bit-identical to Serial.
+func (g *Graph) SetUniformTol(tol float64) *Graph {
+	for i := range g.stages {
+		g.stages[i].Tol = tol
+	}
+	return g
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package pipeline
+
+// raceEnabled reports that the race detector is active; its instrumentation
+// allocates, so the exact-malloc-count assertions skip themselves.
+const raceEnabled = false

@@ -1,0 +1,33 @@
+package pipeline
+
+// Serial is the pipeline's reference semantics: plain lockstep evaluation
+// with no speculation, no transport and no faults. Every distributed run —
+// simulated, realtime or distnet — is validated against it: exactly at FW=1
+// with zero tolerances, within the stages' tolerance envelope otherwise.
+
+// Serial runs the DAG for `ticks` ticks and returns each stage's final row,
+// stage-indexed. It allocates fresh rows (callers keep them).
+func (g *Graph) Serial(ticks int) [][]float64 {
+	n := len(g.stages)
+	cur := make([][]float64, n)
+	next := make([][]float64, n)
+	for s, st := range g.stages {
+		cur[s] = make([]float64, st.Width)
+		next[s] = make([]float64, st.Width)
+		if st.Init != nil {
+			st.Init(cur[s])
+		}
+	}
+	in := make([][]float64, 0, 4)
+	for t := 0; t < ticks; t++ {
+		for s, st := range g.stages {
+			in = in[:0]
+			for _, u := range g.up[s] {
+				in = append(in, cur[u])
+			}
+			st.Step(t, cur[s], in, next[s])
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
