@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short bench bench-core race distributed fuzz-wire soak soak-short chaos-dist obs-fleet dag results results-ext faults chaos metrics cover fmt vet lint examples
+.PHONY: all build test test-short bench bench-core race distributed fuzz-wire soak soak-short sched-soak chaos-dist obs-fleet dag serve-smoke results results-ext faults chaos metrics cover fmt vet lint examples
 
 all: build vet test
 
@@ -26,10 +26,10 @@ test:
 test-short:
 	go test -short ./...
 
-# The substrates with real concurrency: goroutines (realtime) and OS
-# processes over TCP (distnet).
+# The substrates with real concurrency: goroutines (realtime), OS
+# processes over TCP (distnet), and the multi-run scheduler on top (sched).
 race:
-	go test -race ./internal/realtime/... ./internal/distnet/...
+	go test -race ./internal/realtime/... ./internal/distnet/... ./internal/sched/...
 
 # Multi-process loopback smoke: a real coordinator plus one OS process per
 # node over 127.0.0.1, race-checked.
@@ -64,6 +64,12 @@ soak:
 soak-short:
 	go run ./cmd/specsoak -procs 16 -iters 80 -chaos
 
+# Scheduler soak: a batch job plus an arrival stream at two priorities on
+# one pool — gates on >=1 preemption, custody resume, and per-job
+# convergence, and records SchedWait* / SchedPreemptions series.
+sched-soak:
+	go run ./cmd/specsoak -jobs 6 -pool 4 -iters 120 -o BENCH_core.json
+
 # Distributed chaos gate: a real 4-process fleet under supervision, two
 # seeded SIGKILLs mid-run. Victims respawn with bumped epochs, reclaim
 # their ranks, restore from coordinator custody, and the final field must
@@ -86,6 +92,12 @@ obs-fleet:
 dag:
 	go run ./cmd/speccoord -spawn -procs 4 -app pipeline -iters 60 -fw 1 \
 		-exact -verify 0 -timeout 120s
+
+# Service smoke: a real speccoord -serve scheduler driven over HTTP with
+# specsubmit — 3 jobs at 2 priorities on a 4-rank pool, at least one
+# preemption with custody resume, clean SIGTERM drain.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # Regenerate the canonical paper reproduction (results_full.txt).
 results:

@@ -43,6 +43,15 @@
 // journals into one time-aligned Chrome/Perfetto trace in which a
 // speculation's predict/send/deliver/check spans from different OS
 // processes appear as one linked flow.
+//
+// Service mode: -serve runs a long-lived multi-run scheduler instead of a
+// single coordinator — jobs are submitted over HTTP (cmd/specsubmit),
+// queued by priority, sharded across a -pool of ranks, quota-limited per
+// tenant, and preemptible to checkpoint custody. SIGTERM drains to the
+// -custody-dir / -state-dir so a restarted service resumes the queue:
+//
+//	speccoord -serve -pool 8 -custody-dir /var/lib/specomp/custody \
+//	          -state-dir /var/lib/specomp/state -max-tenant-ranks 6
 package main
 
 import (
@@ -101,6 +110,16 @@ func main() {
 		obsPush   = flag.Int("obs-push-ms", 0, "metrics push period in ms (0 = 500ms default, negative = off)")
 		hold      = flag.Duration("hold", 0, "keep the fleet endpoint up this long after the run (for scraping)")
 
+		// Service mode: a long-running multi-run scheduler (see serve.go).
+		serve        = flag.Bool("serve", false, "run as a multi-run scheduler service instead of one coordinator")
+		serveAddr    = flag.String("serve-addr", "127.0.0.1:0", "scheduler HTTP listen address (with -serve)")
+		pool         = flag.Int("pool", 8, "scheduler node-pool capacity in ranks (with -serve)")
+		stateDir     = flag.String("state-dir", "", "persist the scheduler's pending queue here across restarts (with -serve)")
+		tenantJobs   = flag.Int("max-tenant-jobs", 0, "per-tenant active job quota, 0 = unlimited (with -serve)")
+		tenantRanks  = flag.Int("max-tenant-ranks", 0, "per-tenant active rank quota, 0 = unlimited (with -serve)")
+		evictGrace   = flag.Duration("evict-grace", 10*time.Second, "how long a preemption waits for full custody coverage (with -serve)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for running jobs to evict (with -serve)")
+
 		// Node mode, used by -spawn to re-execute this binary as a specnode.
 		join  = flag.String("join", "", "internal: run as a node against this coordinator")
 		epoch = flag.Int("epoch", 0, "internal: incarnation epoch of this node process")
@@ -123,6 +142,18 @@ func main() {
 			logger.Fatalf("node: %v", err)
 		}
 		logger.Printf("node rank %d (epoch %d) finished after %v", res.Rank, *epoch, res.Wall)
+		return
+	}
+
+	if *serve {
+		runServe(serveOpts{
+			addr: *serveAddr, pool: *pool,
+			custodyDir: *custody, stateDir: *stateDir,
+			tenantJobs: *tenantJobs, tenantRanks: *tenantRanks,
+			maxRespawns: *respawns, runTimeout: *timeout,
+			evictGrace: *evictGrace, drainTimeout: *drainTimeout,
+			nodeTimeout: *nodeTO, rejoinWait: *rejoinW,
+		}, logger)
 		return
 	}
 

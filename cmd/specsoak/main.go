@@ -10,6 +10,7 @@
 //
 //	specsoak [-procs 64] [-iters 150] [-chaos] [-delta] [-nobatch]
 //	         [-kill N] [-kill-seed S] [-journal-dir DIR]
+//	         [-jobs N] [-pool R]
 //	         [-o BENCH_core.json] [-timeout 5m]
 //
 // With -o, the soak series are merged into the existing report (other
@@ -28,6 +29,13 @@
 // serial reference) within the speculation tolerance. specsoak exits
 // non-zero when convergence fails — this is the chaos gate CI runs.
 // Throughput series are never recorded from a kill run.
+//
+// The scheduler soak: -jobs N drives the multi-run scheduler (the
+// speccoord -serve machinery, in-process) with a long batch job plus a
+// stream of arrivals at two priorities on a -pool of ranks, asserts that
+// preemption-to-custody and resume actually happened, gates every job on
+// its serial reference, and records queue-wait percentiles and the
+// preemption count as Sched* series (see cmd/specsoak/sched.go).
 package main
 
 import (
@@ -180,7 +188,9 @@ func main() {
 		killSeed = flag.Int64("kill-seed", 1, "seed of the kill schedule")
 		ckpt     = flag.Int("checkpoint", 5, "checkpoint every K iterations during a kill run")
 		deadline = flag.Float64("deadline", 0.25, "per-iteration wall-clock deadline (s) during a kill run")
-		out      = flag.String("o", "", "merge Soak* series into this benchfmt report (e.g. BENCH_core.json)")
+		jobs     = flag.Int("jobs", 0, "scheduler soak: submit this many jobs (2 priorities) to an in-process scheduler and gate on preemption + per-job convergence")
+		pool     = flag.Int("pool", 4, "scheduler soak: node-pool capacity in ranks")
+		out      = flag.String("o", "", "merge Soak*/Sched* series into this benchfmt report (e.g. BENCH_core.json)")
 		timeout  = flag.Duration("timeout", 5*time.Minute, "overall run timeout")
 		jdir     = flag.String("journal-dir", "", "stream each node's run journal to node-R.jsonl under this directory")
 		jmax     = flag.Int64("journal-max", 64<<20, "per-node journal size cap in bytes before rotation")
@@ -221,6 +231,11 @@ func main() {
 	self, err := os.Executable()
 	if err != nil {
 		self = os.Args[0]
+	}
+
+	if *jobs > 0 {
+		runSchedSoak(logger, self, *pool, *jobs, *iters, *timeout, *out)
+		return
 	}
 
 	if *kill > 0 {

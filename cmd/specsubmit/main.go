@@ -1,0 +1,226 @@
+// Command specsubmit is the client for a speccoord -serve scheduler: it
+// submits runs as jobs, watches them, and inspects the queue.
+//
+// Usage:
+//
+//	specsubmit -server http://127.0.0.1:7077 \
+//	    [-app heat|jacobi|pipeline] [-procs P] [-iters N] [-fw W] [-theta θ]
+//	    [-rows R] [-cols C] [-n N] [-tol T] [-width W] [-seed S] [-exact]
+//	    [-checkpoint K] [-priority P] [-tenant T] [-name NAME] [-wait]
+//
+//	specsubmit -server URL -status job-0003        one job's status
+//	specsubmit -server URL -watch  job-0003        poll until terminal
+//	specsubmit -server URL -cancel job-0003        cancel (running or queued)
+//	specsubmit -server URL -queue                  queue + pool occupancy
+//	specsubmit -server URL -list                   every job the service knows
+//
+// The default operation is submit; -wait makes it block until the job
+// reaches a terminal state and exit non-zero unless that state is "done".
+// A preempted job is not terminal — it is queued work with custody — so
+// -wait rides through preemptions and reports the eventual outcome.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"specomp/internal/distnet"
+	"specomp/internal/sched"
+)
+
+func main() {
+	var (
+		server = flag.String("server", "http://127.0.0.1:7077", "scheduler base URL (speccoord -serve)")
+
+		status = flag.String("status", "", "print this job's status and exit")
+		watch  = flag.String("watch", "", "poll this job until it reaches a terminal state")
+		cancel = flag.String("cancel", "", "cancel this job")
+		queue  = flag.Bool("queue", false, "print the queue and pool occupancy")
+		list   = flag.Bool("list", false, "print every job the scheduler knows")
+		poll   = flag.Duration("poll", 500*time.Millisecond, "poll period for -watch/-wait")
+
+		name     = flag.String("name", "", "human label for the job (default: the app name)")
+		tenant   = flag.String("tenant", "", "tenant the job is accounted to (default \"default\")")
+		priority = flag.Int("priority", 0, "queue priority; higher runs first and may preempt lower")
+		wait     = flag.Bool("wait", false, "after submitting, block until the job finishes")
+
+		app   = flag.String("app", "heat", "application: heat, jacobi or pipeline")
+		procs = flag.Int("procs", 4, "ranks the job claims from the pool")
+		iters = flag.Int("iters", 200, "maximum iterations")
+		fw    = flag.Int("fw", 2, "forward speculation window")
+		bw    = flag.Int("bw", 0, "backward window (0 = predictor default)")
+		theta = flag.Float64("theta", 1e-3, "speculation acceptance threshold θ")
+		rows  = flag.Int("rows", 48, "heat grid rows")
+		cols  = flag.Int("cols", 32, "heat grid columns")
+		n     = flag.Int("n", 64, "jacobi system size")
+		tol   = flag.Float64("tol", 0, "jacobi convergence tolerance (0 = run all iterations)")
+		width = flag.Int("width", 16, "pipeline per-stage row width")
+		exact = flag.Bool("exact", false, "pipeline: zero every stage tolerance")
+		seed  = flag.Int64("seed", 1, "problem seed (jacobi, pipeline)")
+		ckpt  = flag.Int("checkpoint", 0, "checkpoint every K iterations (0 = scheduler default; preemption needs checkpoints)")
+	)
+	flag.Parse()
+	c := client{base: *server}
+
+	switch {
+	case *status != "":
+		var st sched.JobStatus
+		c.call("GET", "/jobs/"+*status, nil, &st)
+		printJob(st)
+	case *watch != "":
+		st := c.waitTerminal(*watch, *poll)
+		printJob(st)
+		if st.State != sched.StateDone {
+			os.Exit(1)
+		}
+	case *cancel != "":
+		var st sched.JobStatus
+		c.call("DELETE", "/jobs/"+*cancel, nil, &st)
+		printJob(st)
+	case *queue:
+		var q sched.QueueStatus
+		c.call("GET", "/queue", nil, &q)
+		printQueue(q)
+	case *list:
+		var jobs []sched.JobStatus
+		c.call("GET", "/jobs", nil, &jobs)
+		for _, st := range jobs {
+			printJob(st)
+		}
+	default:
+		req := sched.JobSpec{
+			Name: *name, Tenant: *tenant, Priority: *priority,
+			Spec: distnet.RunSpec{
+				App: *app, Procs: *procs, MaxIter: *iters, FW: *fw, BW: *bw,
+				Theta: *theta, Rows: *rows, Cols: *cols, N: *n, Tol: *tol,
+				Width: *width, Exact: *exact, Seed: *seed, CheckpointEvery: *ckpt,
+			},
+		}
+		var st sched.JobStatus
+		c.call("POST", "/jobs", req, &st)
+		printJob(st)
+		if *wait {
+			st = c.waitTerminal(st.ID, *poll)
+			printJob(st)
+			if st.State != sched.StateDone {
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+type client struct{ base string }
+
+// call performs one API request, decodes the response into out, and exits
+// with the server's error message on a non-2xx status.
+func (c client) call(method, path string, body, out any) {
+	var rd io.Reader
+	if body != nil {
+		blob, err := json.Marshal(body)
+		if err != nil {
+			fatal("%v", err)
+		}
+		rd = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(blob, &eb) == nil && eb.Error != "" {
+			fatal("%s %s: %s (%s)", method, path, eb.Error, resp.Status)
+		}
+		fatal("%s %s: %s", method, path, resp.Status)
+	}
+	if out != nil {
+		if err := json.Unmarshal(blob, out); err != nil {
+			fatal("decoding %s %s response: %v", method, path, err)
+		}
+	}
+}
+
+// waitTerminal polls one job until it leaves the scheduler's active states.
+func (c client) waitTerminal(id string, poll time.Duration) sched.JobStatus {
+	last := sched.JobState("")
+	for {
+		var st sched.JobStatus
+		c.call("GET", "/jobs/"+id, nil, &st)
+		if st.State != last {
+			fmt.Fprintf(os.Stderr, "specsubmit: %s is %s\n", id, st.State)
+			last = st.State
+		}
+		switch st.State {
+		case sched.StateDone, sched.StateFailed, sched.StateCanceled:
+			return st
+		}
+		time.Sleep(poll)
+	}
+}
+
+func printJob(st sched.JobStatus) {
+	line := fmt.Sprintf("%-9s %-10s %-12s tenant=%s priority=%d procs=%d wait=%.3fs",
+		st.ID, st.State, st.Name, st.Tenant, st.Priority, st.Procs, st.WaitSec)
+	if st.Preemptions > 0 {
+		line += fmt.Sprintf(" preemptions=%d", st.Preemptions)
+	}
+	if st.Restores > 0 {
+		line += fmt.Sprintf(" restores=%d", st.Restores)
+	}
+	if st.Error != "" {
+		line += " error=" + st.Error
+	}
+	fmt.Println(line)
+	for _, r := range st.Reports {
+		fmt.Printf("  rank %d: converged=%v iters=%d specs=%d/%d wall=%.3fs\n",
+			r.Rank, r.Converged, r.Iters, r.SpecsMade-r.SpecsBad, r.SpecsMade, r.WallSec)
+	}
+}
+
+func printQueue(q sched.QueueStatus) {
+	fmt.Printf("pool: %d/%d ranks free", q.FreeRanks, q.TotalRanks)
+	if q.Draining {
+		fmt.Printf(" (draining)")
+	}
+	fmt.Println()
+	fmt.Printf("running: %d\n", len(q.Running))
+	for _, st := range q.Running {
+		printJob(st)
+	}
+	fmt.Printf("pending: %d\n", len(q.Pending))
+	for _, st := range q.Pending {
+		printJob(st)
+	}
+	for tenant, u := range q.Tenants {
+		fmt.Printf("tenant %s: %d jobs, %d ranks", tenant, u.Jobs, u.Ranks)
+		if u.MaxJobs > 0 || u.MaxRanks > 0 {
+			fmt.Printf(" (quota: %d jobs, %d ranks)", u.MaxJobs, u.MaxRanks)
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "specsubmit: "+format+"\n", args...)
+	os.Exit(1)
+}

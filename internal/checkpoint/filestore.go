@@ -15,6 +15,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 )
 
@@ -46,6 +47,32 @@ func NewFileStore(dir string) (*FileStore, error) {
 
 // Dir returns the backing directory.
 func (s *FileStore) Dir() string { return s.dir }
+
+// Namespace returns a store rooted at <dir>/<job>, so concurrent jobs
+// sharing one custody directory cannot clobber each other's proc-N.ckpt
+// files: each job's blobs live (and are Cleared) inside its own
+// subdirectory. The job id must be a single clean path segment — anything
+// that could escape the custody root (separators, "..", empty) is rejected.
+func (s *FileStore) Namespace(job string) (*FileStore, error) {
+	if err := ValidNamespace(job); err != nil {
+		return nil, err
+	}
+	return NewFileStore(filepath.Join(s.dir, job))
+}
+
+// ValidNamespace reports whether job can name a custody namespace: one
+// non-empty path segment with no separators, traversal or hidden-file
+// prefix. The scheduler validates tenant-supplied names through this before
+// they ever reach the filesystem.
+func ValidNamespace(job string) error {
+	if job == "" {
+		return fmt.Errorf("checkpoint: empty custody namespace")
+	}
+	if strings.ContainsAny(job, "/\\") || job == "." || job == ".." || strings.HasPrefix(job, ".") {
+		return fmt.Errorf("checkpoint: invalid custody namespace %q", job)
+	}
+	return nil
+}
 
 func (s *FileStore) path(proc int) string {
 	return filepath.Join(s.dir, fmt.Sprintf("proc-%d.ckpt", proc))

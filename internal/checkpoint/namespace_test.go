@@ -1,0 +1,141 @@
+package checkpoint
+
+// Job-namespaced custody: the scheduler gives every job its own
+// subdirectory of one custody root (<dir>/<job>/proc-N.ckpt). These tests
+// pin the isolation properties the scheduler's preemption protocol leans
+// on — concurrent jobs cannot clobber each other's blobs, and clearing one
+// job's namespace leaves every other job intact.
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestNamespaceIsolation(t *testing.T) {
+	root, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := root.Namespace("job-0001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := root.Namespace("job-0002")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same proc numbers, different jobs: the blobs must not cross. The
+	// frontier value marks which job wrote each blob.
+	blobA, blobB := fsBlob(0, 10), fsBlob(0, 20)
+	a.Save(0, blobA)
+	b.Save(0, blobB)
+	if blob, ok := a.Load(0); !ok || !bytes.Equal(blob, blobA) {
+		t.Fatalf("namespace a proc 0: ok=%v", ok)
+	}
+	if blob, ok := b.Load(0); !ok || !bytes.Equal(blob, blobB) {
+		t.Fatalf("namespace b proc 0: ok=%v", ok)
+	}
+	// The root sees neither job's blobs.
+	if _, ok := root.Load(0); ok {
+		t.Fatal("root store can see a namespaced blob")
+	}
+
+	// Clearing one job's custody leaves the other untouched.
+	if err := a.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.Load(0); ok {
+		t.Fatal("cleared namespace still loads")
+	}
+	if blob, ok := b.Load(0); !ok || !bytes.Equal(blob, blobB) {
+		t.Fatalf("clear leaked across namespaces: ok=%v", ok)
+	}
+
+	// Re-opening the same namespace sees the same blobs (how a restarted
+	// scheduler's resume path finds a preempted job's snapshots).
+	b2, err := root.Namespace("job-0002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blob, ok := b2.Load(0); !ok || !bytes.Equal(blob, blobB) {
+		t.Fatalf("reopened namespace: ok=%v", ok)
+	}
+}
+
+// TestNamespaceConcurrentJobs hammers many namespaces from many
+// goroutines — the shape of a scheduler checkpointing several fleets at
+// once — and then verifies every blob landed in the right place. Run under
+// -race this also proves the store's internal locking.
+func TestNamespaceConcurrentJobs(t *testing.T) {
+	root, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const jobs, procs, rounds = 4, 3, 20
+	stores := make([]*FileStore, jobs)
+	for j := range stores {
+		if stores[j], err = root.Namespace(fmt.Sprintf("job-%04d", j)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Encode (job, proc, round) into the snapshot frontier so the final
+	// blob in each file identifies its writer.
+	frontier := func(j, p, r int) int { return 2 + j*10000 + p*100 + r }
+	var wg sync.WaitGroup
+	for j := 0; j < jobs; j++ {
+		for p := 0; p < procs; p++ {
+			wg.Add(1)
+			go func(j, p int) {
+				defer wg.Done()
+				for r := 0; r < rounds; r++ {
+					stores[j].Save(p, fsBlob(p, frontier(j, p, r)))
+				}
+			}(j, p)
+		}
+	}
+	wg.Wait()
+	for j := 0; j < jobs; j++ {
+		if err := stores[j].Err(); err != nil {
+			t.Fatalf("job %d store degraded: %v", j, err)
+		}
+		for p := 0; p < procs; p++ {
+			blob, ok := stores[j].Load(p)
+			if !ok {
+				t.Fatalf("job %d proc %d: no blob", j, p)
+			}
+			snap, err := Decode(blob)
+			if err != nil {
+				t.Fatalf("job %d proc %d: %v", j, p, err)
+			}
+			if want := frontier(j, p, rounds-1); snap.Frontier != want || snap.Proc != p {
+				t.Fatalf("job %d proc %d: frontier %d proc %d, want frontier %d proc %d",
+					j, p, snap.Frontier, snap.Proc, want, p)
+			}
+		}
+	}
+}
+
+// TestValidNamespace rejects ids that would escape or collide inside the
+// custody root.
+func TestValidNamespace(t *testing.T) {
+	for _, bad := range []string{"", ".", "..", "../other", "a/b", `a\b`, ".hidden"} {
+		if err := ValidNamespace(bad); err == nil {
+			t.Errorf("ValidNamespace(%q) accepted", bad)
+		}
+	}
+	for _, good := range []string{"job-0001", "j", "soak_run-7"} {
+		if err := ValidNamespace(good); err != nil {
+			t.Errorf("ValidNamespace(%q): %v", good, err)
+		}
+	}
+	root, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Namespace("../escape"); err == nil {
+		t.Fatal("Namespace accepted a path traversal")
+	}
+}

@@ -51,6 +51,11 @@ var ErrNodeSilent = errors.New("distnet: node control connection silent past sta
 // within the coordinator's rejoin window.
 var ErrRankLost = errors.New("distnet: rank lost and not reclaimed within rejoin window")
 
+// ErrCoordClosed reports a run aborted by Close — a deliberate teardown
+// (eviction, cancellation, shutdown), not a protocol failure. Callers that
+// tore the run down on purpose can errors.Is for it.
+var ErrCoordClosed = errors.New("distnet: coordinator closed")
+
 // CoordConfig parameterizes a coordinator.
 type CoordConfig struct {
 	// Addr is the listen address (default "127.0.0.1:0").
@@ -149,6 +154,7 @@ type Coordinator struct {
 	stats   CoordStats
 	closed  bool
 
+	abort   chan struct{} // closed by Close; fails the run loop promptly
 	done    chan struct{}
 	reports []NodeReport
 	runErr  error
@@ -205,6 +211,7 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 		spec:  cfg.Spec,
 		cfg:   cfg,
 		ckpts: make(map[int][]byte),
+		abort: make(chan struct{}),
 		done:  make(chan struct{}),
 	}
 	// Durable custody: a restarted coordinator resumes the previous
@@ -272,6 +279,7 @@ func (c *Coordinator) Close() {
 	}
 	c.mu.Unlock()
 	if !closed {
+		close(c.abort)
 		_ = c.ln.Close()
 		for _, conn := range conns {
 			_ = conn.Close()
@@ -506,6 +514,12 @@ func (c *Coordinator) run() {
 
 	for len(results) < p {
 		select {
+		case <-c.abort:
+			// Close was called: the run is being torn down on purpose.
+			// Fail now instead of waiting out the rejoin window on the
+			// vacancies the severed connections are about to produce.
+			fail(ErrCoordClosed)
+			return
 		case ev := <-events:
 			m := byRank[ev.rank]
 			if ev.gen != m.gen {

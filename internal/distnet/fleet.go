@@ -134,11 +134,13 @@ func injectLabels(s obs.PromSample, extra ...obs.Label) obs.PromSample {
 	return s
 }
 
-// WriteProm renders the aggregated fleet exposition: the coordinator's own
-// fleet series first, then every node's families merged by name with
-// job/node labels injected into each sample. Deterministic for a fixed set
-// of snapshots: families sorted by name, node series in rank order.
-func (f *FleetObs) WriteProm(w *bytes.Buffer) error {
+// Families renders the aggregation as parsed metric families: the
+// coordinator's own fleet series first, then every node's families merged
+// by name with job/node labels injected into each sample. Deterministic for
+// a fixed set of snapshots: families sorted by name, node series in rank
+// order. The scheduler merges many jobs' fleets family-wise from this (each
+// job's samples stay distinct through their job label).
+func (f *FleetObs) Families() ([]obs.PromFamily, error) {
 	job, ranks, nodes := f.snapshot()
 	jl := obs.L("job", job)
 
@@ -166,7 +168,7 @@ func (f *FleetObs) WriteProm(w *bytes.Buffer) error {
 		n := nodes[r]
 		fams, err := obs.ParsePromFamilies(bytes.NewReader(n.text))
 		if err != nil {
-			return fmt.Errorf("distnet: rank %d snapshot: %w", r, err)
+			return nil, fmt.Errorf("distnet: rank %d snapshot: %w", r, err)
 		}
 		nl := obs.L("node", fmt.Sprintf("%d", r))
 		for _, fam := range fams {
@@ -186,7 +188,16 @@ func (f *FleetObs) WriteProm(w *bytes.Buffer) error {
 	for _, name := range order {
 		out = append(out, *merged[name])
 	}
-	return obs.WriteFamilies(w, out)
+	return out, nil
+}
+
+// WriteProm renders the aggregated fleet exposition (see Families).
+func (f *FleetObs) WriteProm(w *bytes.Buffer) error {
+	fams, err := f.Families()
+	if err != nil {
+		return err
+	}
+	return obs.WriteFamilies(w, fams)
 }
 
 // FleetNodeStatus is one node's entry in the /fleet JSON view.

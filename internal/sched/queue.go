@@ -1,0 +1,58 @@
+package sched
+
+// The pending queue: a priority heap ordered by (priority desc, admission
+// sequence asc). The sequence tiebreak makes the queue FIFO within a
+// priority band, and — because a preempted job keeps its original sequence
+// — puts resumed work ahead of anything that arrived after it.
+
+import "container/heap"
+
+type jobQueue struct{ items []*Job }
+
+func (q *jobQueue) Len() int { return len(q.items) }
+
+func (q *jobQueue) Less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	return a.seq < b.seq
+}
+
+func (q *jobQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+
+func (q *jobQueue) Push(x any) { q.items = append(q.items, x.(*Job)) }
+
+func (q *jobQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	q.items = old[:n-1]
+	return j
+}
+
+func (q *jobQueue) push(j *Job) { heap.Push(q, j) }
+
+// remove deletes the job from the queue (by identity); reports whether it
+// was present.
+func (q *jobQueue) remove(j *Job) bool {
+	for i, it := range q.items {
+		if it == j {
+			heap.Remove(q, i)
+			return true
+		}
+	}
+	return false
+}
+
+// ordered returns the queue contents in dispatch order without disturbing
+// the heap.
+func (q *jobQueue) ordered() []*Job {
+	cp := jobQueue{items: append([]*Job(nil), q.items...)}
+	out := make([]*Job, 0, len(cp.items))
+	for cp.Len() > 0 {
+		out = append(out, heap.Pop(&cp).(*Job))
+	}
+	return out
+}
